@@ -1,0 +1,81 @@
+// Figure 12b: QoE vs normalized bandwidth usage — each ABR evaluated on a
+// trace scaled by different ratios; bandwidth savings read off horizontally
+// at a target QoE. Paper: ~27.9% savings vs Pensieve/Fugu, ~32.1% vs BBA at
+// target QoE 0.8 (on their scale).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "util/stats.h"
+
+using namespace sensei;
+using core::Experiments;
+
+namespace {
+
+// Mean true QoE of a policy across all videos at one bandwidth scale.
+double mean_qoe(sim::AbrPolicy& policy, const net::ThroughputTrace& trace,
+                bool use_weights) {
+  const auto& videos = Experiments::videos();
+  const auto& weights = Experiments::weights();
+  util::Accumulator acc;
+  const std::vector<double> none;
+  for (size_t v = 0; v < videos.size(); ++v) {
+    acc.add(Experiments::run(videos[v], trace, policy, use_weights ? weights[v] : none)
+                .true_qoe);
+  }
+  return acc.mean();
+}
+
+// Linear interpolation of the scale needed to reach `target` QoE.
+double scale_for_target(const std::vector<double>& scales, const std::vector<double>& qoe,
+                        double target) {
+  for (size_t i = 1; i < scales.size(); ++i) {
+    if (qoe[i] >= target) {
+      double t = (target - qoe[i - 1]) / (qoe[i] - qoe[i - 1]);
+      return scales[i - 1] + t * (scales[i] - scales[i - 1]);
+    }
+  }
+  return scales.back();
+}
+
+}  // namespace
+
+int main() {
+  net::ThroughputTrace base_trace = Experiments::traces()[6];  // ~2.7 Mbps broadband
+  const std::vector<double> scales = {0.2, 0.35, 0.5, 0.65, 0.8, 1.0};
+
+  abr::BbaAbr bba;
+  auto fugu = core::Sensei::make_fugu();
+  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+  auto& pensieve = Experiments::pensieve();
+
+  std::printf("%s", util::banner("Figure 12b: QoE vs normalized bandwidth usage").c_str());
+  util::Table table({"bandwidth scale", "SENSEI", "Pensieve", "Fugu", "BBA"});
+  std::vector<double> q_sensei, q_pen, q_fugu, q_bba;
+  for (double scale : scales) {
+    auto trace = base_trace.scaled(scale);
+    q_sensei.push_back(mean_qoe(*sensei_fugu, trace, true));
+    q_pen.push_back(mean_qoe(pensieve, trace, false));
+    q_fugu.push_back(mean_qoe(*fugu, trace, false));
+    q_bba.push_back(mean_qoe(bba, trace, false));
+    table.add_row(std::vector<double>{scale, q_sensei.back(), q_pen.back(), q_fugu.back(),
+                                      q_bba.back()},
+                  3);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Bandwidth savings at a mid-range target QoE reachable by all ABRs.
+  double target = 0.9 * std::min({q_sensei.back(), q_pen.back(), q_fugu.back(),
+                                  q_bba.back()});
+  double s_sensei = scale_for_target(scales, q_sensei, target);
+  double s_fugu = scale_for_target(scales, q_fugu, target);
+  double s_bba = scale_for_target(scales, q_bba, target);
+  std::printf("target QoE %.3f: SENSEI needs %.2fx bandwidth, Fugu %.2fx, BBA %.2fx\n",
+              target, s_sensei, s_fugu, s_bba);
+  std::printf("bandwidth savings: %.1f%% vs Fugu, %.1f%% vs BBA "
+              "(paper: 27.9%% vs Pensieve/Fugu, 32.1%% vs BBA)\n",
+              (1.0 - s_sensei / s_fugu) * 100.0, (1.0 - s_sensei / s_bba) * 100.0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 14: QoE gain over BBA per throughput trace (ordered by increasing
+// average throughput), averaged across videos. Paper: SENSEI's advantage is
+// largest when throughput is low.
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sensei;
+using core::Experiments;
+
+int main() {
+  const auto& videos = Experiments::videos();
+  const auto& traces = Experiments::traces();
+  const auto& weights = Experiments::weights();
+
+  abr::BbaAbr bba;
+  auto fugu = core::Sensei::make_fugu();
+  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+  auto& pensieve = Experiments::pensieve();
+
+  std::printf("%s", util::banner(
+                        "Figure 14: QoE gain over BBA per trace (ordered by mean "
+                        "throughput)")
+                        .c_str());
+  util::Table table({"trace", "mean Kbps", "SENSEI %", "Pensieve %", "Fugu %"});
+  const std::vector<double> none;
+  double low_half_gain = 0.0, high_half_gain = 0.0;
+  for (size_t t = 0; t < traces.size(); ++t) {
+    util::Accumulator g_sensei, g_pen, g_fugu;
+    for (size_t v = 0; v < videos.size(); ++v) {
+      double q_bba = Experiments::run(videos[v], traces[t], bba, none).true_qoe;
+      if (q_bba < 0.02) continue;
+      g_sensei.add(
+          (Experiments::run(videos[v], traces[t], *sensei_fugu, weights[v]).true_qoe -
+           q_bba) /
+          q_bba * 100.0);
+      g_pen.add((Experiments::run(videos[v], traces[t], pensieve, none).true_qoe - q_bba) /
+                q_bba * 100.0);
+      g_fugu.add((Experiments::run(videos[v], traces[t], *fugu, none).true_qoe - q_bba) /
+                 q_bba * 100.0);
+    }
+    if (t < traces.size() / 2) {
+      low_half_gain += g_sensei.mean();
+    } else {
+      high_half_gain += g_sensei.mean();
+    }
+    table.add_row({traces[t].name(),
+                   util::Table::format_double(traces[t].mean_kbps(), 0),
+                   util::Table::format_double(g_sensei.mean(), 1),
+                   util::Table::format_double(g_pen.mean(), 1),
+                   util::Table::format_double(g_fugu.mean(), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("SENSEI mean gain, low-throughput half: %+.1f%%; high half: %+.1f%% "
+              "(paper: more improvement when throughput is lower)\n",
+              low_half_gain / (traces.size() / 2.0),
+              high_half_gain / (traces.size() / 2.0));
+  return 0;
+}

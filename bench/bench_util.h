@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary prints the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crowd/campaign.h"
+#include "crowd/ground_truth.h"
+#include "media/encoder.h"
+#include "sim/render.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace sensei::bench {
+
+// Crowdsourced MOS for a set of renderings of one source video: runs a
+// simulated MTurk campaign against the pristine reference, as §4.1 does.
+inline std::vector<double> crowdsourced_mos(const crowd::GroundTruthQoE& oracle,
+                                            const media::EncodedVideo& video,
+                                            const std::vector<sim::RenderedVideo>& renderings,
+                                            size_t ratings_per_video, uint64_t seed) {
+  crowd::Campaign campaign(oracle, crowd::RaterConfig(), crowd::CampaignConfig(), seed);
+  auto reference = sim::RenderedVideo::pristine(video);
+  return campaign.run(renderings, reference, ratings_per_video).mos;
+}
+
+// Prints an empirical CDF as "value fraction" rows at the given quantiles.
+inline void print_cdf(const std::string& title, const std::vector<double>& values) {
+  std::printf("%s", util::banner(title).c_str());
+  util::Table table({"percentile", "value"});
+  for (double p : {0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0}) {
+    table.add_row(std::vector<double>{p, util::percentile(values, p)}, 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace sensei::bench

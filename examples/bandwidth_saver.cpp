@@ -1,0 +1,78 @@
+// Example: "same QoE, lower bandwidth" (§1's second opportunity).
+// Sweeps a trace down in scale and finds the smallest bandwidth at which
+// each ABR still reaches a target true QoE — the SENSEI pitch to a content
+// provider paying per gigabyte.
+#include <algorithm>
+#include <cstdio>
+
+#include "abr/bba.h"
+#include "core/sensei.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sensei;
+
+namespace {
+
+double mean_qoe_at_scale(sim::AbrPolicy& policy, const media::EncodedVideo& video,
+                         const net::ThroughputTrace& base, double scale,
+                         const std::vector<double>& weights,
+                         const crowd::GroundTruthQoE& oracle) {
+  sim::Player player;
+  auto trace = base.scaled(scale);
+  auto session = player.stream(video, trace, policy, weights);
+  return oracle.score(session.to_rendered(video));
+}
+
+}  // namespace
+
+int main() {
+  media::EncodedVideo video =
+      media::Encoder().encode(media::Dataset::by_name("Wrestling"));
+  net::ThroughputTrace base = net::TraceGenerator::broadband("isp", 3500, 700.0, 31);
+  crowd::GroundTruthQoE oracle;
+  core::Sensei sensei(oracle);
+  auto profiled = sensei.profile(video);
+
+  abr::BbaAbr bba;
+  auto fugu = core::Sensei::make_fugu();
+  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+
+  const std::vector<double> scales = {0.25, 0.35, 0.45, 0.55, 0.7, 0.85, 1.0};
+  std::printf("QoE of each ABR as the link is scaled down (%s, base %.1f Mbps):\n\n",
+              video.source().name().c_str(), base.mean_kbps() / 1000.0);
+  util::Table table({"scale", "Mbps", "BBA", "Fugu", "SENSEI"});
+  std::vector<double> q_bba, q_fugu, q_sensei;
+  const std::vector<double> none;
+  for (double s : scales) {
+    q_bba.push_back(mean_qoe_at_scale(bba, video, base, s, none, oracle));
+    q_fugu.push_back(mean_qoe_at_scale(*fugu, video, base, s, none, oracle));
+    q_sensei.push_back(
+        mean_qoe_at_scale(*sensei_fugu, video, base, s, profiled.profile.weights, oracle));
+    table.add_row(std::vector<double>{s, base.mean_kbps() * s / 1000.0, q_bba.back(),
+                                      q_fugu.back(), q_sensei.back()},
+                  3);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Pick a target QoE every ABR reaches at full scale, then report the
+  // smallest sufficient scale per ABR.
+  double target = 0.95 * std::min({q_bba.back(), q_fugu.back(), q_sensei.back()});
+  auto min_scale = [&](const std::vector<double>& qoe) {
+    for (size_t i = 0; i < scales.size(); ++i) {
+      if (qoe[i] >= target) return scales[i];
+    }
+    return scales.back();
+  };
+  double s_bba = min_scale(q_bba), s_fugu = min_scale(q_fugu), s_sensei = min_scale(q_sensei);
+  std::printf("target QoE %.3f reached at: BBA %.2fx, Fugu %.2fx, SENSEI %.2fx\n", target,
+              s_bba, s_fugu, s_sensei);
+  if (s_sensei < s_fugu) {
+    std::printf("SENSEI delivers the target with %.0f%% less bandwidth than Fugu\n",
+                (1.0 - s_sensei / s_fugu) * 100.0);
+  }
+  return 0;
+}

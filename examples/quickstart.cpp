@@ -1,0 +1,63 @@
+// Quickstart: profile one video's dynamic quality sensitivity, then stream it
+// with SENSEI-Fugu vs vanilla Fugu and compare true (oracle) QoE.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/sensei.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "util/table.h"
+
+using namespace sensei;
+
+int main() {
+  // 1. A source video from the paper's Table 1 test set and one throughput
+  //    trace shaped like the 3G/HSDPA dataset.
+  media::SourceVideo source = media::Dataset::by_name("Soccer1");
+  media::EncodedVideo video = media::Encoder().encode(source);
+  net::ThroughputTrace trace =
+      net::TraceGenerator::cellular("demo-cell", 1400, 700.0, 7);
+
+  std::printf("Video: %s (%s, %s, %zu chunks of %.0fs)\n", source.name().c_str(),
+              media::to_string(source.genre()).c_str(), source.length_string().c_str(),
+              source.num_chunks(), source.chunk_duration_s());
+  std::printf("Trace: %s (mean %.0f Kbps)\n\n", trace.name().c_str(), trace.mean_kbps());
+
+  // 2. Profile the video: simulated MTurk raters -> per-chunk weights.
+  crowd::GroundTruthQoE oracle;  // stands in for real viewers (see DESIGN.md)
+  core::Sensei sensei(oracle);
+  core::ProfileOutput profiled = sensei.profile(video);
+  std::printf("Profiling: %zu renderings, %zu ratings, %zu participants\n",
+              profiled.profile.renderings_rated, profiled.profile.ratings_collected,
+              profiled.profile.participants);
+  std::printf("Cost: $%.2f (%.1f min of video), elapsed ~%.0f minutes\n\n",
+              profiled.profile.cost_usd, source.duration_s() / 60.0,
+              profiled.profile.elapsed_minutes);
+
+  // 3. Stream with each ABR and score the outcome with the oracle.
+  sim::Player player;
+  util::Table table({"ABR", "true QoE", "mean Kbps", "rebuffer s", "switches"});
+
+  auto evaluate = [&](sim::AbrPolicy& policy, const std::vector<double>& weights) {
+    sim::SessionResult session = player.stream(video, trace, policy, weights);
+    double qoe = oracle.score(session.to_rendered(video));
+    table.add_row({policy.name(), util::Table::format_double(qoe, 3),
+                   util::Table::format_double(session.mean_bitrate_kbps(), 0),
+                   util::Table::format_double(session.total_rebuffer_s(), 1),
+                   std::to_string(session.switch_count())});
+    return qoe;
+  };
+
+  auto fugu = core::Sensei::make_fugu();
+  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+  double base = evaluate(*fugu, {});
+  double ours = evaluate(*sensei_fugu, profiled.profile.weights);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("SENSEI-Fugu QoE gain over Fugu: %+.1f%%\n",
+              base > 0 ? (ours - base) / base * 100.0 : 0.0);
+  return 0;
+}

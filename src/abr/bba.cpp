@@ -1,0 +1,29 @@
+#include "abr/bba.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensei::abr {
+
+BbaAbr::BbaAbr(BbaConfig config) : config_(config) {
+  if (config_.cushion_s <= config_.reservoir_s)
+    throw std::runtime_error("bba: cushion must exceed reservoir");
+}
+
+sim::AbrDecision BbaAbr::decide(const sim::AbrObservation& obs) {
+  const size_t top = obs.video->ladder().level_count() - 1;
+  sim::AbrDecision d;
+  if (obs.buffer_s <= config_.reservoir_s) {
+    d.level = 0;
+  } else if (obs.buffer_s >= config_.cushion_s) {
+    d.level = top;
+  } else {
+    double frac = (obs.buffer_s - config_.reservoir_s) /
+                  (config_.cushion_s - config_.reservoir_s);
+    d.level = static_cast<size_t>(std::floor(frac * static_cast<double>(top + 1)));
+    if (d.level > top) d.level = top;
+  }
+  return d;
+}
+
+}  // namespace sensei::abr

@@ -1,0 +1,29 @@
+// Buffer-Based Adaptation (BBA, Huang et al., SIGCOMM'14).
+//
+// Maps the current buffer occupancy linearly onto the bitrate ladder between
+// a reservoir (below which it plays the lowest rung) and a cushion (above
+// which it plays the highest). No throughput model, no QoE objective — the
+// paper's weakest baseline.
+#pragma once
+
+#include "sim/player.h"
+
+namespace sensei::abr {
+
+struct BbaConfig {
+  double reservoir_s = 5.0;
+  double cushion_s = 20.0;  // upper edge of the linear map
+};
+
+class BbaAbr : public sim::AbrPolicy {
+ public:
+  explicit BbaAbr(BbaConfig config = BbaConfig());
+
+  const char* name() const override { return "BBA"; }
+  sim::AbrDecision decide(const sim::AbrObservation& obs) override;
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace sensei::abr

@@ -1,0 +1,73 @@
+// Fugu-style model-predictive ABR (Yan et al., NSDI'20), re-implemented as
+// described in the paper's §5.2: before downloading chunk i it considers a
+// probabilistic throughput forecast, simulates the buffer over the next h
+// chunks for every candidate bitrate sequence, and picks the sequence
+// maximizing the expected sum of per-chunk quality q(b_j, t_j) (Eq. 3). Only
+// the first decision is acted upon; the controller replans every chunk.
+//
+// The weighted variant (Eq. 4) and the scheduled-rebuffering action are
+// added by SENSEI-Fugu in src/core; this class keeps the vanilla objective.
+#pragma once
+
+#include "net/predictor.h"
+#include "qoe/chunk_quality.h"
+#include "sim/player.h"
+
+namespace sensei::abr {
+
+struct FuguConfig {
+  size_t horizon = 5;
+  size_t predictor_window = 8;
+  qoe::ChunkQualityParams chunk;
+  // When true, the expected objective weights each chunk's quality by the
+  // sensitivity weights offered in the observation (used by SENSEI-Fugu).
+  bool use_weights = false;
+  // Crowdsourced weights are noisy estimates; the objective uses
+  // w' = 1 + shrinkage * (w - 1), shrinking toward indifference so the
+  // controller does not over-commit to mis-profiled chunks.
+  double weight_shrinkage = 0.8;
+  // Scheduled rebuffering options evaluated for the *next* chunk (seconds).
+  // Vanilla Fugu uses {0}; SENSEI-Fugu passes {0,1,2}.
+  std::vector<double> rebuffer_options = {0.0};
+  // A deliberate stall is taken only when its planned objective beats the
+  // best stall-free plan by this margin. Throughput scenarios overstate
+  // stall risk often enough that an un-gated rebuffer action loses QoE.
+  double rebuffer_margin = 0.35;
+};
+
+class FuguAbr : public sim::AbrPolicy {
+ public:
+  explicit FuguAbr(FuguConfig config = FuguConfig());
+
+  const char* name() const override { return config_.use_weights ? "Sensei-Fugu" : "Fugu"; }
+  void begin_session(const media::EncodedVideo& video) override;
+  sim::AbrDecision decide(const sim::AbrObservation& obs) override;
+
+  const FuguConfig& config() const { return config_; }
+
+ private:
+  struct PlanState {
+    double buffer_s = 0.0;
+    double prev_vq = 0.0;
+  };
+
+  // Expected objective of choosing `level` (+ scheduled stall on the first
+  // step) then continuing greedily-optimal via recursion.
+  double plan(const sim::AbrObservation& obs,
+              const std::vector<net::ThroughputScenario>& scenarios, size_t depth,
+              size_t chunk, std::vector<PlanState>& states, double prev_weighted_sum);
+
+  FuguConfig config_;
+  net::ScenarioPredictor predictor_;
+  // Best first action found by the last plan() walk, tracked separately for
+  // stall-free plans so the rebuffer margin can be applied.
+  size_t best_first_level_ = 0;
+  double best_first_rebuffer_ = 0.0;
+  double best_value_ = 0.0;
+  size_t best_nostall_level_ = 0;
+  double best_nostall_value_ = 0.0;
+  size_t plan_first_level_ = 0;
+  double plan_first_rebuffer_ = 0.0;
+};
+
+}  // namespace sensei::abr

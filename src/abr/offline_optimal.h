@@ -1,0 +1,40 @@
+// Offline-optimal bitrate planning with full trace knowledge (§2.4's
+// idealized experiment, Figure 6).
+//
+// Dynamic program over (chunk index, quantized wall-clock time, quantized
+// buffer, last level). The objective is the (optionally sensitivity-
+// weighted) sum of per-chunk qualities; the sensitivity-aware variant may
+// also insert scheduled rebuffering at chunk boundaries. This eliminates the
+// throughput-prediction confound exactly as the paper's clean experiment
+// does: both variants see the whole trace in advance and differ only in the
+// QoE objective they maximize.
+#pragma once
+
+#include <vector>
+
+#include "net/trace.h"
+#include "qoe/chunk_quality.h"
+#include "sim/session.h"
+
+namespace sensei::abr {
+
+struct OfflineConfig {
+  double time_quantum_s = 2.0;
+  double buffer_quantum_s = 2.0;
+  double max_buffer_s = 30.0;
+  double horizon_slack_s = 400.0;  // extra wall-clock room beyond video length
+  qoe::ChunkQualityParams chunk;
+  // Scheduled stalls available at each chunk boundary (aware variant passes
+  // {0,1,2}; the unaware variant uses {0}).
+  std::vector<double> rebuffer_options = {0.0};
+};
+
+// Plans bitrates (and stalls) for `video` over `trace` maximizing
+// sum_i w_i q_i. Pass all-ones weights for the sensitivity-unaware variant.
+// Returns the resulting session as if it were streamed.
+sim::SessionResult plan_offline(const media::EncodedVideo& video,
+                                const net::ThroughputTrace& trace,
+                                const std::vector<double>& weights,
+                                const OfflineConfig& config = OfflineConfig());
+
+}  // namespace sensei::abr

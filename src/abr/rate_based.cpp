@@ -1,0 +1,21 @@
+#include "abr/rate_based.h"
+
+namespace sensei::abr {
+
+RateBasedAbr::RateBasedAbr(RateBasedConfig config)
+    : config_(config), predictor_(config.window) {}
+
+void RateBasedAbr::begin_session(const media::EncodedVideo& video) {
+  (void)video;
+  predictor_.reset();
+}
+
+sim::AbrDecision RateBasedAbr::decide(const sim::AbrObservation& obs) {
+  if (obs.last_throughput_kbps > 0.0) predictor_.observe(obs.last_throughput_kbps);
+  double budget_kbps = config_.safety * predictor_.predict_kbps();
+  sim::AbrDecision d;
+  d.level = obs.video->ladder().highest_level_at_most(budget_kbps);
+  return d;
+}
+
+}  // namespace sensei::abr

@@ -1,0 +1,30 @@
+// Rate-based adaptation: picks the highest rung sustainable under the
+// harmonic-mean throughput estimate with a safety margin. Included as the
+// classic second baseline family (§8 groups ABRs into buffer- and
+// rate-based).
+#pragma once
+
+#include "net/predictor.h"
+#include "sim/player.h"
+
+namespace sensei::abr {
+
+struct RateBasedConfig {
+  double safety = 0.85;   // use this fraction of the predicted throughput
+  size_t window = 5;
+};
+
+class RateBasedAbr : public sim::AbrPolicy {
+ public:
+  explicit RateBasedAbr(RateBasedConfig config = RateBasedConfig());
+
+  const char* name() const override { return "RateBased"; }
+  void begin_session(const media::EncodedVideo& video) override;
+  sim::AbrDecision decide(const sim::AbrObservation& obs) override;
+
+ private:
+  RateBasedConfig config_;
+  net::HarmonicMeanPredictor predictor_;
+};
+
+}  // namespace sensei::abr

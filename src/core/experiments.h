@@ -1,0 +1,54 @@
+// Shared evaluation fixtures (§7.1) used by the bench harness and the
+// integration tests: the encoded Table-1 video set, the 10-trace network set,
+// the ground-truth oracle, per-video sensitivity profiles, and trained
+// Pensieve policies. Everything is deterministic and lazily cached, so bench
+// binaries stay independent yet cheap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/fugu.h"
+#include "abr/pensieve.h"
+#include "core/sensei.h"
+#include "crowd/ground_truth.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+
+namespace sensei::core {
+
+class Experiments {
+ public:
+  // The 16 encoded source videos of Table 1.
+  static const std::vector<media::EncodedVideo>& videos();
+  // The 10 evaluation traces of §7.1 (ordered by mean throughput).
+  static const std::vector<net::ThroughputTrace>& traces();
+  // Separate trace set for RL training (never evaluated on).
+  static const std::vector<net::ThroughputTrace>& train_traces();
+  // The ground-truth "user" oracle.
+  static const crowd::GroundTruthQoE& oracle();
+  // Crowdsourced sensitivity weights per video (cached profiling runs).
+  static const std::vector<std::vector<double>>& weights();
+  // Profiling outputs (weights + cost bookkeeping) per video.
+  static const std::vector<ProfileOutput>& profiles();
+
+  // Trained policies (trained once, then shared; call-site must not mutate
+  // training mode).
+  static abr::PensieveAbr& pensieve();
+  static abr::PensieveAbr& sensei_pensieve();
+
+  // Streams `video` with `policy` and returns the oracle QoE of the outcome.
+  struct RunResult {
+    sim::SessionResult session;
+    double true_qoe = 0.0;
+  };
+  static RunResult run(const media::EncodedVideo& video, const net::ThroughputTrace& trace,
+                       sim::AbrPolicy& policy, const std::vector<double>& weights);
+
+  // Index of a video inside videos() by name; throws if absent.
+  static size_t video_index(const std::string& name);
+};
+
+}  // namespace sensei::core

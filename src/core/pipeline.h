@@ -1,0 +1,41 @@
+// End-to-end QoE profiling pipeline (paper Figure 8).
+//
+// Input: a source video (plus budget-shaping scheduler parameters).
+// Output: a per-chunk sensitivity profile, the SENSEI QoE model built on it,
+// and the sensitivity-augmented DASH manifest to distribute to players.
+#pragma once
+
+#include <memory>
+
+#include "crowd/scheduler.h"
+#include "media/encoder.h"
+#include "qoe/sensei_qoe.h"
+#include "sim/manifest.h"
+
+namespace sensei::core {
+
+struct ProfileOutput {
+  crowd::SensitivityProfile profile;
+  sim::Manifest manifest;
+};
+
+class ProfilingPipeline {
+ public:
+  ProfilingPipeline(const crowd::GroundTruthQoE& oracle,
+                    crowd::SchedulerConfig scheduler_config = crowd::SchedulerConfig(),
+                    uint64_t seed = 0xF10E);
+
+  // Runs the two-step crowdsourced profiling and packages the results.
+  ProfileOutput run(const media::EncodedVideo& video) const;
+
+  // Builds the SENSEI QoE model from a finished profile.
+  static qoe::SenseiQoeModel make_qoe_model(const ProfileOutput& output,
+                                            qoe::ChunkQualityParams params = {});
+
+ private:
+  const crowd::GroundTruthQoE& oracle_;
+  crowd::SchedulerConfig scheduler_config_;
+  uint64_t seed_;
+};
+
+}  // namespace sensei::core

@@ -1,0 +1,54 @@
+#include "core/sensei.h"
+
+namespace sensei::core {
+
+Sensei::Sensei(const crowd::GroundTruthQoE& oracle, crowd::SchedulerConfig scheduler_config,
+               uint64_t seed)
+    : pipeline_(oracle, scheduler_config, seed) {}
+
+ProfileOutput Sensei::profile(const media::EncodedVideo& video) const {
+  return pipeline_.run(video);
+}
+
+std::unique_ptr<abr::FuguAbr> Sensei::make_fugu(qoe::ChunkQualityParams params) {
+  abr::FuguConfig cfg;
+  cfg.chunk = params;
+  cfg.use_weights = false;
+  cfg.rebuffer_options = {0.0};
+  return std::make_unique<abr::FuguAbr>(cfg);
+}
+
+std::unique_ptr<abr::PensieveAbr> Sensei::make_pensieve(uint64_t seed,
+                                                        qoe::ChunkQualityParams params) {
+  abr::PensieveConfig cfg;
+  cfg.sensei_mode = false;
+  cfg.chunk = params;
+  return std::make_unique<abr::PensieveAbr>(cfg, seed);
+}
+
+std::unique_ptr<abr::FuguAbr> Sensei::make_sensei_fugu(qoe::ChunkQualityParams params) {
+  abr::FuguConfig cfg;
+  cfg.chunk = params;
+  cfg.use_weights = true;
+  cfg.rebuffer_options = {0.0, 1.0, 2.0};
+  return std::make_unique<abr::FuguAbr>(cfg);
+}
+
+std::unique_ptr<abr::FuguAbr> Sensei::make_sensei_fugu_bitrate_only(
+    qoe::ChunkQualityParams params) {
+  abr::FuguConfig cfg;
+  cfg.chunk = params;
+  cfg.use_weights = true;
+  cfg.rebuffer_options = {0.0};
+  return std::make_unique<abr::FuguAbr>(cfg);
+}
+
+std::unique_ptr<abr::PensieveAbr> Sensei::make_sensei_pensieve(
+    uint64_t seed, qoe::ChunkQualityParams params) {
+  abr::PensieveConfig cfg;
+  cfg.sensei_mode = true;
+  cfg.chunk = params;
+  return std::make_unique<abr::PensieveAbr>(cfg, seed);
+}
+
+}  // namespace sensei::core

@@ -1,0 +1,46 @@
+#include "crowd/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sensei::crowd {
+
+GroundTruthQoE::GroundTruthQoE(GroundTruthParams params) : params_(params) {}
+
+double GroundTruthQoE::weighted_mean(const sim::RenderedVideo& video) const {
+  const size_t n = video.num_chunks();
+  if (n == 0) return 0.0;
+  std::vector<double> q = qoe::chunk_qualities(video, params_.chunk);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double s = video.content(i).sensitivity;
+    num += s * q[i];
+    den += s;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double GroundTruthQoE::worst_memory(const sim::RenderedVideo& video) const {
+  const size_t n = video.num_chunks();
+  if (n == 0) return 0.0;
+  std::vector<double> q = qoe::chunk_qualities(video, params_.chunk);
+  double worst = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    double s = video.content(i).sensitivity;
+    worst = std::min(worst, 1.0 - s * (1.0 - q[i]));
+  }
+  return worst;
+}
+
+double GroundTruthQoE::score(const sim::RenderedVideo& video) const {
+  double m = weighted_mean(video);
+  double w = worst_memory(video);
+  double startup = params_.startup_weight * qoe::stall_penalty(video.startup_delay_s(),
+                                                               params_.chunk);
+  double q = params_.mean_weight * m + (1.0 - params_.mean_weight) * w - startup;
+  return util::clamp(q, 0.0, 1.0);
+}
+
+}  // namespace sensei::crowd

@@ -1,0 +1,39 @@
+#include "crowd/rater.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sensei::crowd {
+
+RaterPool::RaterPool(RaterConfig config, uint64_t seed) : config_(config), rng_(seed) {}
+
+int RaterPool::unit_to_stars(double unit) {
+  int stars = static_cast<int>(std::lround(1.0 + 4.0 * util::clamp(unit, 0.0, 1.0)));
+  return stars < 1 ? 1 : (stars > 5 ? 5 : stars);
+}
+
+Rater RaterPool::recruit() {
+  Rater r;
+  r.id = next_id_++;
+  r.bias = rng_.normal(0.0, config_.bias_stddev);
+  r.spammer = rng_.chance(config_.spammer_fraction);
+  return r;
+}
+
+Rating RaterPool::rate(const Rater& rater, double true_qoe) {
+  Rating rating;
+  rating.rater_id = rater.id;
+  if (rater.spammer) {
+    // Spammers click through: random stars, frequently without watching.
+    rating.stars = rng_.uniform_int(1, 5);
+    rating.watched_full = rng_.chance(0.4);
+    return rating;
+  }
+  double perceived = true_qoe + rater.bias + rng_.normal(0.0, config_.noise_stddev);
+  rating.stars = unit_to_stars(perceived);
+  rating.watched_full = !rng_.chance(config_.partial_watch_fraction);
+  return rating;
+}
+
+}  // namespace sensei::crowd

@@ -1,0 +1,59 @@
+// Synthetic rater model for the MTurk substitution.
+//
+// Each rater has a persistent bias (lenient/harsh), per-rating noise, and a
+// small probability of being a spammer. Spammers either rate at random or
+// skip through videos without watching — the behaviours the paper's quality
+// controls (§B) are designed to catch: rating a degraded video above the
+// pristine reference, and not watching a video in full.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::crowd {
+
+struct RaterConfig {
+  double bias_stddev = 0.05;    // persistent offset on the [0,1] scale
+  double noise_stddev = 0.08;   // per-rating noise on the [0,1] scale
+  double spammer_fraction = 0.08;
+  double partial_watch_fraction = 0.05;  // non-spammers who skip a video
+};
+
+struct Rater {
+  uint64_t id = 0;
+  double bias = 0.0;
+  bool spammer = false;
+};
+
+struct Rating {
+  uint64_t rater_id = 0;
+  int stars = 3;          // Likert scale 1..5
+  bool watched_full = true;
+};
+
+class RaterPool {
+ public:
+  explicit RaterPool(RaterConfig config = RaterConfig(), uint64_t seed = 0xA11CE);
+
+  // Draws a fresh rater (the paper finds most Turkers participate once).
+  Rater recruit();
+
+  // Produces a rating for a video of true QoE `true_qoe` in [0,1].
+  Rating rate(const Rater& rater, double true_qoe);
+
+  // Converts a star rating (1..5) to the normalized [0,1] scale and back.
+  static double stars_to_unit(double stars) { return (stars - 1.0) / 4.0; }
+  static int unit_to_stars(double unit);
+
+  const RaterConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  RaterConfig config_;
+  util::Rng rng_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace sensei::crowd

@@ -1,0 +1,86 @@
+#include "crowd/weights.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/regression.h"
+#include "util/stats.h"
+
+namespace sensei::crowd {
+
+std::vector<double> infer_weights(const std::vector<sim::RenderedVideo>& videos,
+                                  const std::vector<double>& mos,
+                                  const sim::RenderedVideo& reference, double reference_mos,
+                                  size_t num_chunks, const WeightInferenceConfig& config) {
+  if (videos.size() != mos.size()) throw std::runtime_error("weights: dataset mismatch");
+  if (videos.empty() || num_chunks == 0) return std::vector<double>(num_chunks, 1.0);
+
+  std::vector<double> q_ref = qoe::chunk_qualities(reference, config.chunk);
+  if (q_ref.size() < num_chunks)
+    throw std::runtime_error("weights: reference shorter than weight vector");
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  rows.reserve(videos.size());
+  targets.reserve(videos.size());
+  for (size_t j = 0; j < videos.size(); ++j) {
+    std::vector<double> q = qoe::chunk_qualities(videos[j], config.chunk);
+    std::vector<double> row(num_chunks, 0.0);
+    size_t covered = std::min(num_chunks, q.size());
+    bool any = false;
+    for (size_t i = 0; i < covered; ++i) {
+      double delta = q_ref[i] - q[i];
+      if (std::abs(delta) > 1e-12) {
+        row[i] = delta;
+        any = true;
+      }
+    }
+    if (!any) continue;  // identical to the reference: no information
+    rows.push_back(std::move(row));
+    // MOS drops are scaled per covered chunk to match sum_i w_i delta_i,
+    // which for an average-of-chunks QoE carries a 1/N factor.
+    targets.push_back((reference_mos - mos[j]) * static_cast<double>(covered));
+  }
+  if (rows.empty()) return std::vector<double>(num_chunks, 1.0);
+
+  std::vector<double> w = util::fit_nonnegative_least_squares(rows, targets,
+                                                              config.ridge_lambda,
+                                                              config.iterations);
+  if (w.size() != num_chunks) w.assign(num_chunks, 1.0);
+
+  // Chunks untouched by every incident carry no signal; give them the mean
+  // weight of the constrained chunks before normalizing.
+  std::vector<bool> touched(num_chunks, false);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < num_chunks; ++i) {
+      if (row[i] != 0.0) touched[i] = true;
+    }
+  }
+  double touched_sum = 0.0;
+  size_t touched_count = 0;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    if (touched[i]) {
+      touched_sum += w[i];
+      ++touched_count;
+    }
+  }
+  double fill = touched_count ? touched_sum / static_cast<double>(touched_count) : 1.0;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    if (!touched[i]) w[i] = fill;
+  }
+
+  normalize_mean_one(w);
+  return w;
+}
+
+void normalize_mean_one(std::vector<double>& weights) {
+  if (weights.empty()) return;
+  double m = util::mean(weights);
+  if (m <= 1e-12) {
+    weights.assign(weights.size(), 1.0);
+    return;
+  }
+  for (double& w : weights) w /= m;
+}
+
+}  // namespace sensei::crowd

@@ -1,0 +1,43 @@
+// Per-chunk sensitivity weight inference (§4.2).
+//
+// The paper fits Q_j = sum_i w_i q_ij over rated renderings j by linear
+// regression. Fitting that system directly is badly conditioned: every
+// rendering shares the same large "pristine" background, so the per-chunk
+// columns are nearly collinear and ridge regularization flattens the weights.
+// We therefore solve the equivalent *differenced* system against the
+// reference rendering (the pristine video every survey already contains):
+//
+//   Q_ref - Q_j = sum_i w_i (q_i,ref - q_ij)
+//
+// whose rows are sparse (only chunks touched by rendering j's incident are
+// nonzero), making the weights directly identified by each incident's MOS
+// drop. Non-negative ridge regression keeps noise-induced negative weights
+// out; chunks never touched by any incident keep the neutral weight 1.
+// Weights are normalized to mean 1.
+#pragma once
+
+#include <vector>
+
+#include "qoe/chunk_quality.h"
+#include "sim/render.h"
+
+namespace sensei::crowd {
+
+struct WeightInferenceConfig {
+  double ridge_lambda = 0.05;
+  int iterations = 300;
+  qoe::ChunkQualityParams chunk;
+};
+
+// Infers `num_chunks` weights from rated renderings and the rated reference.
+// Renderings may be clips; each row only constrains the chunks it covers.
+std::vector<double> infer_weights(const std::vector<sim::RenderedVideo>& videos,
+                                  const std::vector<double>& mos,
+                                  const sim::RenderedVideo& reference, double reference_mos,
+                                  size_t num_chunks,
+                                  const WeightInferenceConfig& config = WeightInferenceConfig());
+
+// Normalizes a weight vector to mean 1 (no-op on empty/degenerate input).
+void normalize_mean_one(std::vector<double>& weights);
+
+}  // namespace sensei::crowd

@@ -1,0 +1,86 @@
+#include "cv/cv_models.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sensei::cv {
+
+namespace {
+
+std::vector<double> normalize(std::vector<double> v) { return util::normalize01(v); }
+
+// Feature vector used by the DSN-like diversity term.
+std::vector<double> chunk_feature(const media::ChunkContent& c) {
+  return {c.motion, c.complexity, c.objectness};
+}
+
+double feature_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+std::vector<double> amvm_scores(const media::SourceVideo& video) {
+  // Attention-modulated visual activity: motion dominates, modulated by
+  // spatial complexity (texture attracts gaze).
+  std::vector<double> scores;
+  scores.reserve(video.num_chunks());
+  for (const auto& c : video.chunks()) {
+    scores.push_back(0.7 * c.motion + 0.3 * c.complexity);
+  }
+  return normalize(scores);
+}
+
+std::vector<double> dsn_scores(const media::SourceVideo& video) {
+  // Diversity-representativeness: a chunk is important when it is far from
+  // its neighbours (diverse) yet close to the global centroid
+  // (representative) — the DSN reward structure.
+  const size_t n = video.num_chunks();
+  std::vector<std::vector<double>> features;
+  features.reserve(n);
+  for (const auto& c : video.chunks()) features.push_back(chunk_feature(c));
+
+  std::vector<double> centroid(3, 0.0);
+  for (const auto& f : features) {
+    for (size_t k = 0; k < 3; ++k) centroid[k] += f[k];
+  }
+  for (auto& v : centroid) v /= static_cast<double>(n ? n : 1);
+
+  std::vector<double> scores(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double diversity = 0.0;
+    size_t count = 0;
+    for (size_t j = i >= 2 ? i - 2 : 0; j < std::min(n, i + 3); ++j) {
+      if (j == i) continue;
+      diversity += feature_distance(features[i], features[j]);
+      ++count;
+    }
+    if (count) diversity /= static_cast<double>(count);
+    double representativeness = 1.0 / (1.0 + feature_distance(features[i], centroid));
+    scores[i] = 0.5 * diversity + 0.5 * representativeness;
+  }
+  return normalize(scores);
+}
+
+std::vector<double> video2gif_scores(const media::SourceVideo& video) {
+  // Highlightness: salient objects moving fast make good GIFs.
+  std::vector<double> scores;
+  scores.reserve(video.num_chunks());
+  for (const auto& c : video.chunks()) {
+    scores.push_back(c.objectness * (0.4 + 0.6 * c.motion));
+  }
+  return normalize(scores);
+}
+
+std::vector<CvModelResult> run_all(const media::SourceVideo& video) {
+  return {
+      {"AMVM", amvm_scores(video)},
+      {"DSN", dsn_scores(video)},
+      {"video2gif", video2gif_scores(video)},
+  };
+}
+
+}  // namespace sensei::cv

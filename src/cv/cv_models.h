@@ -1,0 +1,35 @@
+// Appendix-D baselines: computer-vision models repurposed to predict quality
+// sensitivity. The paper tests AMVM, DSN and Video2GIF and finds their
+// importance scores do not track the user study.
+//
+// Our reproductions capture each model's *inductive bias* over the content
+// features our substrate exposes (motion, objectness, complexity):
+//  - AMVM-like: attention follows motion-weighted visual activity.
+//  - DSN-like: summarization via diversity + representativeness of chunks.
+//  - Video2GIF-like: highlightness ~ salient objects in dynamic scenes.
+// All three reward "information-rich, dynamic" chunks — which, by the
+// paper's key observation, is precisely what fails on replays (dynamic, low
+// sensitivity) and scoreboards (static, high sensitivity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/video.h"
+
+namespace sensei::cv {
+
+// Per-chunk importance scores normalized to [0, 1].
+std::vector<double> amvm_scores(const media::SourceVideo& video);
+std::vector<double> dsn_scores(const media::SourceVideo& video);
+std::vector<double> video2gif_scores(const media::SourceVideo& video);
+
+struct CvModelResult {
+  std::string model;
+  std::vector<double> scores;
+};
+
+// Runs all three models.
+std::vector<CvModelResult> run_all(const media::SourceVideo& video);
+
+}  // namespace sensei::cv

@@ -1,0 +1,161 @@
+#include "media/content.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sensei::media {
+
+using util::Rng;
+
+std::string to_string(Genre g) {
+  switch (g) {
+    case Genre::kSports: return "Sports";
+    case Genre::kGaming: return "Gaming";
+    case Genre::kNature: return "Nature";
+    case Genre::kAnimation: return "Animation";
+  }
+  return "?";
+}
+
+std::string to_string(SceneKind k) {
+  switch (k) {
+    case SceneKind::kNormal: return "normal";
+    case SceneKind::kKeyMoment: return "key-moment";
+    case SceneKind::kInfoMoment: return "info-moment";
+    case SceneKind::kTransitional: return "transitional";
+    case SceneKind::kReplay: return "replay";
+  }
+  return "?";
+}
+
+SensitivityRange sensitivity_range(SceneKind kind) {
+  switch (kind) {
+    case SceneKind::kKeyMoment: return {0.85, 1.0};
+    case SceneKind::kInfoMoment: return {0.70, 0.88};
+    case SceneKind::kNormal: return {0.40, 0.62};
+    case SceneKind::kReplay: return {0.28, 0.45};
+    case SceneKind::kTransitional: return {0.20, 0.38};
+  }
+  return {0.4, 0.6};
+}
+
+namespace {
+
+// Motion / complexity / objectness profiles per scene kind. Mean values;
+// per-chunk jitter is added on top.
+struct KindProfile {
+  double motion;
+  double complexity;
+  double objectness;
+};
+
+KindProfile kind_profile(SceneKind kind, Genre genre) {
+  const bool animated = genre == Genre::kAnimation;
+  switch (kind) {
+    case SceneKind::kKeyMoment: return {0.72, animated ? 0.55 : 0.68, 0.70};
+    case SceneKind::kInfoMoment: return {0.18, 0.35, 0.45};  // static scoreboard
+    case SceneKind::kNormal: return {0.50, 0.55, 0.55};
+    case SceneKind::kReplay: return {0.85, 0.75, 0.80};  // most dynamic on screen
+    case SceneKind::kTransitional: return {0.15, animated ? 0.30 : 0.40, 0.25};
+  }
+  return {0.5, 0.5, 0.5};
+}
+
+// Genre-specific scene grammars: relative dwell probabilities and typical
+// segment lengths (in chunks). Sports has goals + scoreboards + replays;
+// nature is mostly scenic; gaming mixes fights (key) and looting (info);
+// animation follows story arcs with tension build-ups.
+struct GenreGrammar {
+  // kind -> (probability weight, min segment chunks, max segment chunks)
+  struct Entry {
+    SceneKind kind;
+    double weight;
+    int min_len;
+    int max_len;
+  };
+  std::vector<Entry> entries;
+};
+
+GenreGrammar grammar_for(Genre genre) {
+  switch (genre) {
+    case Genre::kSports:
+      return {{
+          {SceneKind::kNormal, 0.52, 2, 5},
+          {SceneKind::kKeyMoment, 0.14, 1, 2},
+          {SceneKind::kInfoMoment, 0.10, 1, 1},
+          {SceneKind::kReplay, 0.16, 1, 3},
+          {SceneKind::kTransitional, 0.08, 1, 2},
+      }};
+    case Genre::kGaming:
+      return {{
+          {SceneKind::kNormal, 0.50, 2, 5},
+          {SceneKind::kKeyMoment, 0.16, 1, 2},
+          {SceneKind::kInfoMoment, 0.14, 1, 2},
+          {SceneKind::kReplay, 0.08, 1, 2},
+          {SceneKind::kTransitional, 0.12, 1, 3},
+      }};
+    case Genre::kNature:
+      return {{
+          {SceneKind::kNormal, 0.30, 2, 4},
+          {SceneKind::kKeyMoment, 0.10, 1, 1},
+          {SceneKind::kInfoMoment, 0.05, 1, 1},
+          {SceneKind::kReplay, 0.05, 1, 1},
+          {SceneKind::kTransitional, 0.50, 2, 6},
+      }};
+    case Genre::kAnimation:
+      return {{
+          {SceneKind::kNormal, 0.44, 2, 5},
+          {SceneKind::kKeyMoment, 0.16, 1, 3},
+          {SceneKind::kInfoMoment, 0.08, 1, 1},
+          {SceneKind::kReplay, 0.06, 1, 2},
+          {SceneKind::kTransitional, 0.26, 1, 4},
+      }};
+  }
+  throw std::runtime_error("unknown genre");
+}
+
+ChunkContent make_chunk(SceneKind kind, Genre genre, Rng& rng) {
+  ChunkContent c;
+  c.kind = kind;
+  KindProfile p = kind_profile(kind, genre);
+  c.motion = util::clamp(p.motion + rng.normal(0.0, 0.07), 0.02, 1.0);
+  c.complexity = util::clamp(p.complexity + rng.normal(0.0, 0.08), 0.05, 1.0);
+  c.objectness = util::clamp(p.objectness + rng.normal(0.0, 0.08), 0.02, 1.0);
+  SensitivityRange sr = sensitivity_range(kind);
+  c.sensitivity = util::clamp(rng.uniform(sr.lo, sr.hi), 0.05, 1.0);
+  return c;
+}
+
+}  // namespace
+
+std::vector<ChunkContent> generate_content(const std::string& name, Genre genre,
+                                           size_t num_chunks) {
+  Rng rng = Rng::from_string(name, 0xC0DEC);
+  GenreGrammar grammar = grammar_for(genre);
+
+  std::vector<ChunkContent> chunks;
+  chunks.reserve(num_chunks);
+  SceneKind prev = SceneKind::kNormal;
+  while (chunks.size() < num_chunks) {
+    std::vector<double> weights;
+    weights.reserve(grammar.entries.size());
+    for (const auto& e : grammar.entries) {
+      // Avoid back-to-back identical non-normal segments; key moments are
+      // typically followed by replays/celebrations in sports.
+      double w = e.weight;
+      if (e.kind == prev && e.kind != SceneKind::kNormal) w *= 0.25;
+      if (prev == SceneKind::kKeyMoment && e.kind == SceneKind::kReplay) w *= 3.0;
+      weights.push_back(w);
+    }
+    const auto& entry = grammar.entries[rng.weighted_index(weights)];
+    int seg_len = rng.uniform_int(entry.min_len, entry.max_len);
+    for (int i = 0; i < seg_len && chunks.size() < num_chunks; ++i) {
+      chunks.push_back(make_chunk(entry.kind, genre, rng));
+    }
+    prev = entry.kind;
+  }
+  return chunks;
+}
+
+}  // namespace sensei::media

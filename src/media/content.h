@@ -1,0 +1,56 @@
+// Synthetic per-chunk content model.
+//
+// The paper's experiments consume two things from a real video: how hard each
+// chunk is to encode (sizes, visual quality vs bitrate) and the latent
+// per-chunk *quality sensitivity* of viewers (§2.3). We model both directly.
+//
+// Scene kinds encode the paper's taxonomy of attention (§2.3 "Sources of
+// dynamic quality sensitivity"):
+//  - kKeyMoment:    storyline climax (goal, buzzer beater) — highest sensitivity.
+//  - kInfoMoment:   information the viewer must read (scoreboard, loot) —
+//                   high sensitivity but LOW motion.
+//  - kTransitional: scenic filler (universe background) — lowest sensitivity.
+//  - kReplay:       replays/ads/quick scans — HIGH motion but low sensitivity.
+//  - kNormal:       regular gameplay/footage — medium sensitivity.
+//
+// kInfoMoment and kReplay deliberately break the motion<->sensitivity
+// correlation; this is the property that makes motion-based heuristics
+// (LSTM-QoE's "dynamic scenes", the Appendix-D CV models) mispredict, exactly
+// as the paper reports for Soccer1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::media {
+
+enum class Genre { kSports, kGaming, kNature, kAnimation };
+
+enum class SceneKind { kNormal, kKeyMoment, kInfoMoment, kTransitional, kReplay };
+
+std::string to_string(Genre g);
+std::string to_string(SceneKind k);
+
+struct ChunkContent {
+  SceneKind kind = SceneKind::kNormal;
+  double motion = 0.5;       // [0,1] temporal activity (what CV/LSTM models see)
+  double complexity = 0.5;   // [0,1] spatial encoding difficulty
+  double objectness = 0.5;   // [0,1] salient-object density (what CV models see)
+  double sensitivity = 0.5;  // (0,1] latent true quality sensitivity (hidden)
+};
+
+// Generates a chunk sequence for a video of the given genre. Deterministic
+// for a given (name, genre, chunk count): each video gets its own RNG stream.
+std::vector<ChunkContent> generate_content(const std::string& name, Genre genre,
+                                           size_t num_chunks);
+
+// Per-kind sensitivity ranges (exposed for tests and the ground-truth oracle).
+struct SensitivityRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+SensitivityRange sensitivity_range(SceneKind kind);
+
+}  // namespace sensei::media

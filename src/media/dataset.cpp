@@ -1,0 +1,75 @@
+#include "media/dataset.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sensei::media {
+
+const std::vector<DatasetEntry>& Dataset::table1() {
+  static const std::vector<DatasetEntry> kTable = {
+      {"Basket1", Genre::kSports, 220, "LIVE-MOBILE", "A buzzer beater in a basketball game"},
+      {"Soccer1", Genre::kSports, 200, "LIVE-NFLX-II", "A goal after a failed shoot"},
+      {"Basket2", Genre::kSports, 220, "YouTube-UGC",
+       "A free throw followed by a one-on-one defense"},
+      {"Soccer2", Genre::kSports, 220, "YouTube-UGC", "Presenting the scoreboard after a goal"},
+      {"Discus", Genre::kSports, 220, "YouTube-UGC", "A man throwing a discus"},
+      {"Wrestling", Genre::kSports, 220, "YouTube-UGC", "Two wrestling players"},
+      {"Motor", Genre::kSports, 220, "YouTube-UGC", "Motor racing"},
+      {"Tank", Genre::kGaming, 220, "YouTube-UGC", "A tank attacking a house"},
+      {"FPS1", Genre::kGaming, 220, "YouTube-UGC", "A first-person shooting game"},
+      {"FPS2", Genre::kGaming, 220, "YouTube-UGC", "A player robbing supplies"},
+      {"Mountain", Genre::kNature, 84, "LIVE-MOBILE", "Mountain scene"},
+      {"Animal", Genre::kNature, 220, "YouTube-UGC", "Warthogs that are bathing and grooming"},
+      {"Space", Genre::kNature, 220, "YouTube-UGC",
+       "A satellite taking pictures of the Earth"},
+      {"Girl", Genre::kAnimation, 220, "YouTube-UGC", "A girl falling off the cliff"},
+      {"Lava", Genre::kAnimation, 220, "LIVE-NFLX-II", "A lava is waking up"},
+      {"BigBuckBunny", Genre::kAnimation, 596, "WaterlooSQOE-III",
+       "A rabbit dealing with three tiny bullies"},
+  };
+  return kTable;
+}
+
+SourceVideo Dataset::generate_entry(const DatasetEntry& e, double chunk_duration_s) {
+  return SourceVideo::generate(e.name, e.genre, e.duration_s, e.source_dataset,
+                               chunk_duration_s);
+}
+
+std::vector<SourceVideo> Dataset::test_set(double chunk_duration_s) {
+  std::vector<SourceVideo> videos;
+  videos.reserve(table1().size());
+  for (const auto& e : table1()) videos.push_back(generate_entry(e, chunk_duration_s));
+  return videos;
+}
+
+SourceVideo Dataset::by_name(const std::string& name, double chunk_duration_s) {
+  for (const auto& e : table1()) {
+    if (e.name == name) return generate_entry(e, chunk_duration_s);
+  }
+  throw std::runtime_error("dataset: unknown video " + name);
+}
+
+SourceVideo Dataset::soccer1_clip() {
+  // Hand-authored 25-second layout matching Figure 1's annotations.
+  util::Rng rng = util::Rng::from_string("Soccer1-clip", 7);
+  auto make = [&](SceneKind kind, double motion, double sens) {
+    ChunkContent c;
+    c.kind = kind;
+    c.motion = motion;
+    c.complexity = util::clamp(0.55 + rng.normal(0.0, 0.05), 0.1, 1.0);
+    c.objectness = util::clamp(0.55 + rng.normal(0.0, 0.05), 0.1, 1.0);
+    c.sensitivity = sens;
+    return c;
+  };
+  std::vector<ChunkContent> chunks;
+  chunks.push_back(make(SceneKind::kNormal, 0.55, 0.52));      // 0-4 s   normal gameplay
+  chunks.push_back(make(SceneKind::kNormal, 0.60, 0.55));      // 4-8 s   normal gameplay
+  chunks.push_back(make(SceneKind::kNormal, 0.58, 0.48));      // 8-12 s  normal gameplay
+  chunks.push_back(make(SceneKind::kKeyMoment, 0.72, 0.97));   // 12-16 s shoot & goal
+  chunks.push_back(make(SceneKind::kReplay, 0.88, 0.40));      // 16-20 s celebrate & replay
+  chunks.push_back(make(SceneKind::kReplay, 0.85, 0.36));      // 20-24 s celebrate & replay
+  return SourceVideo("Soccer1-clip", Genre::kSports, "LIVE-NFLX-II", std::move(chunks), 4.0);
+}
+
+}  // namespace sensei::media

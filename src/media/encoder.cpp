@@ -1,0 +1,53 @@
+#include "media/encoder.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sensei::media {
+
+EncodedVideo::EncodedVideo(SourceVideo source, BitrateLadder ladder,
+                           std::vector<std::vector<EncodedChunk>> reps)
+    : source_(std::move(source)), ladder_(std::move(ladder)), reps_(std::move(reps)) {}
+
+Encoder::Encoder(BitrateLadder ladder) : ladder_(std::move(ladder)) {}
+
+double Encoder::visual_quality(double bitrate_kbps, double complexity) {
+  // Saturating rate-quality curve: q = 1 - exp(-r / r0), where the reference
+  // rate r0 grows with complexity. Calibrated so the paper's ladder spans
+  // roughly [0.35, 0.97] for a mid-complexity chunk.
+  double r0 = 550.0 + 1450.0 * complexity;
+  double q = 1.0 - std::exp(-bitrate_kbps / r0);
+  return util::clamp(q, 0.0, 1.0);
+}
+
+EncodedVideo Encoder::encode(const SourceVideo& video) const {
+  util::Rng rng = util::Rng::from_string(video.name(), 0xE2C0DE);
+  std::vector<std::vector<EncodedChunk>> reps;
+  reps.reserve(video.num_chunks());
+  const double tau = video.chunk_duration_s();
+
+  for (size_t i = 0; i < video.num_chunks(); ++i) {
+    const ChunkContent& content = video.chunk(i);
+    // VBR factor: high-motion chunks overshoot the target bitrate, static
+    // chunks undershoot. One draw per chunk shared across levels, as a real
+    // encoder's rate control correlates across the ladder.
+    double vbr = 1.0 + 0.25 * (content.motion - 0.5) + rng.normal(0.0, 0.06);
+    vbr = util::clamp(vbr, 0.6, 1.5);
+
+    std::vector<EncodedChunk> levels;
+    levels.reserve(ladder_.level_count());
+    for (size_t l = 0; l < ladder_.level_count(); ++l) {
+      EncodedChunk ec;
+      ec.bitrate_kbps = ladder_.kbps(l);
+      ec.size_bytes = ec.bitrate_kbps * 1000.0 / 8.0 * tau * vbr;
+      ec.visual_quality = visual_quality(ec.bitrate_kbps, content.complexity);
+      levels.push_back(ec);
+    }
+    reps.push_back(std::move(levels));
+  }
+  return EncodedVideo(video, ladder_, std::move(reps));
+}
+
+}  // namespace sensei::media

@@ -1,0 +1,61 @@
+// Encoder substrate: turns a SourceVideo into per-chunk, per-bitrate encoded
+// representations with (a) realistic VBR chunk sizes and (b) a visual-quality
+// proxy standing in for VMAF/SSIM (the paper's pixel-based metrics).
+//
+// Visual quality follows a saturating log curve of bitrate, discounted by
+// chunk complexity: complex (high-motion, high-detail) chunks need more bits
+// for the same quality, matching rate-distortion behaviour of H.264.
+#pragma once
+
+#include <vector>
+
+#include "media/ladder.h"
+#include "media/video.h"
+
+namespace sensei::media {
+
+struct EncodedChunk {
+  double bitrate_kbps = 0.0;
+  double size_bytes = 0.0;
+  double visual_quality = 0.0;  // [0,1], VMAF-like proxy
+};
+
+class EncodedVideo {
+ public:
+  EncodedVideo() = default;
+  EncodedVideo(SourceVideo source, BitrateLadder ladder,
+               std::vector<std::vector<EncodedChunk>> reps);
+
+  const SourceVideo& source() const { return source_; }
+  const BitrateLadder& ladder() const { return ladder_; }
+  size_t num_chunks() const { return reps_.size(); }
+  double chunk_duration_s() const { return source_.chunk_duration_s(); }
+
+  const EncodedChunk& rep(size_t chunk, size_t level) const { return reps_.at(chunk).at(level); }
+  double size_bytes(size_t chunk, size_t level) const { return rep(chunk, level).size_bytes; }
+  double visual_quality(size_t chunk, size_t level) const {
+    return rep(chunk, level).visual_quality;
+  }
+
+ private:
+  SourceVideo source_;
+  BitrateLadder ladder_;
+  std::vector<std::vector<EncodedChunk>> reps_;  // [chunk][level]
+};
+
+class Encoder {
+ public:
+  explicit Encoder(BitrateLadder ladder = BitrateLadder());
+
+  // Deterministic in the source video's name.
+  EncodedVideo encode(const SourceVideo& video) const;
+
+  // The visual-quality proxy, exposed so QoE models can reuse the same curve.
+  // bitrate in Kbps, complexity in [0,1]; returns [0,1].
+  static double visual_quality(double bitrate_kbps, double complexity);
+
+ private:
+  BitrateLadder ladder_;
+};
+
+}  // namespace sensei::media

@@ -1,0 +1,32 @@
+#include "media/ladder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sensei::media {
+
+BitrateLadder::BitrateLadder() : levels_{300, 750, 1200, 1850, 2850} {}
+
+BitrateLadder::BitrateLadder(std::vector<double> levels_kbps) : levels_(std::move(levels_kbps)) {
+  if (levels_.empty()) throw std::runtime_error("ladder: no levels");
+  if (!std::is_sorted(levels_.begin(), levels_.end()))
+    throw std::runtime_error("ladder: levels must ascend");
+}
+
+size_t BitrateLadder::highest_level_at_most(double kbps) const {
+  size_t best = 0;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] <= kbps) best = i;
+  }
+  return best;
+}
+
+int BitrateLadder::level_of(double kbps) const {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (std::abs(levels_[i] - kbps) < 1e-9) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace sensei::media

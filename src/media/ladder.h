@@ -1,0 +1,34 @@
+// Encoding bitrate ladder.
+//
+// The paper encodes 4-second chunks in five H.264 bitrate levels:
+// {300, 750, 1200, 1850, 2850} Kbps, matching YouTube's 240p..1080p rungs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sensei::media {
+
+class BitrateLadder {
+ public:
+  // The paper's ladder (Kbps).
+  BitrateLadder();
+  explicit BitrateLadder(std::vector<double> levels_kbps);
+
+  size_t level_count() const { return levels_.size(); }
+  double kbps(size_t level) const { return levels_.at(level); }
+  const std::vector<double>& levels_kbps() const { return levels_; }
+
+  double lowest_kbps() const { return levels_.front(); }
+  double highest_kbps() const { return levels_.back(); }
+
+  // Highest level whose bitrate does not exceed `kbps`; 0 if none do.
+  size_t highest_level_at_most(double kbps) const;
+  // Exact level index of a bitrate, or -1 if it is not on the ladder.
+  int level_of(double kbps) const;
+
+ private:
+  std::vector<double> levels_;  // ascending
+};
+
+}  // namespace sensei::media

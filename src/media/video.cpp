@@ -1,0 +1,48 @@
+#include "media/video.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sensei::media {
+
+SourceVideo::SourceVideo(std::string name, Genre genre, std::string source_dataset,
+                         std::vector<ChunkContent> chunks, double chunk_duration_s)
+    : name_(std::move(name)),
+      genre_(genre),
+      source_dataset_(std::move(source_dataset)),
+      chunk_duration_s_(chunk_duration_s),
+      chunks_(std::move(chunks)) {
+  if (chunk_duration_s_ <= 0.0) throw std::runtime_error("video: chunk duration must be > 0");
+}
+
+SourceVideo SourceVideo::generate(const std::string& name, Genre genre, double duration_s,
+                                  const std::string& source_dataset, double chunk_duration_s) {
+  if (duration_s <= 0.0) throw std::runtime_error("video: duration must be > 0");
+  auto num_chunks = static_cast<size_t>(std::ceil(duration_s / chunk_duration_s));
+  return SourceVideo(name, genre, source_dataset, generate_content(name, genre, num_chunks),
+                     chunk_duration_s);
+}
+
+std::vector<double> SourceVideo::true_sensitivity() const {
+  std::vector<double> s;
+  s.reserve(chunks_.size());
+  for (const auto& c : chunks_) s.push_back(c.sensitivity);
+  return s;
+}
+
+std::string SourceVideo::length_string() const {
+  int total = static_cast<int>(std::lround(duration_s()));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d", total / 60, total % 60);
+  return buf;
+}
+
+SourceVideo SourceVideo::clip(size_t first, size_t count, const std::string& clip_name) const {
+  if (first + count > chunks_.size()) throw std::runtime_error("video: clip out of range");
+  std::vector<ChunkContent> sub(chunks_.begin() + static_cast<long>(first),
+                                chunks_.begin() + static_cast<long>(first + count));
+  return SourceVideo(clip_name, genre_, source_dataset_, std::move(sub), chunk_duration_s_);
+}
+
+}  // namespace sensei::media

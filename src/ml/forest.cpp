@@ -1,0 +1,136 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sensei::ml {
+
+namespace {
+
+double subset_mean(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  if (rows.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t r : rows) acc += y[r];
+  return acc / static_cast<double>(rows.size());
+}
+
+double subset_sse(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  double m = subset_mean(y, rows);
+  double acc = 0.0;
+  for (size_t r : rows) acc += (y[r] - m) * (y[r] - m);
+  return acc;
+}
+
+}  // namespace
+
+int RegressionTree::build(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y, std::vector<size_t> rows,
+                          size_t depth, const ForestConfig& cfg, util::Rng& rng) {
+  Node node;
+  node.value = subset_mean(y, rows);
+  int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (depth >= cfg.max_depth || rows.size() < 2 * cfg.min_leaf) return index;
+
+  const size_t num_features = x[0].size();
+  size_t k = cfg.features_per_split
+                 ? cfg.features_per_split
+                 : std::max<size_t>(1, static_cast<size_t>(std::sqrt(num_features)));
+
+  // Sample k distinct candidate features.
+  std::vector<size_t> all(num_features);
+  std::iota(all.begin(), all.end(), size_t{0});
+  rng.shuffle(all);
+  all.resize(std::min(k, num_features));
+
+  double parent_sse = subset_sse(y, rows);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<size_t> best_left, best_right;
+
+  for (size_t f : all) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) values.push_back(x[r][f]);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) continue;
+
+    // Try up to 8 quantile thresholds.
+    size_t trials = std::min<size_t>(8, values.size() - 1);
+    for (size_t t = 1; t <= trials; ++t) {
+      size_t pos = t * (values.size() - 1) / (trials + 1);
+      double thr = (values[pos] + values[pos + 1]) / 2.0;
+      std::vector<size_t> left, right;
+      for (size_t r : rows) (x[r][f] <= thr ? left : right).push_back(r);
+      if (left.size() < cfg.min_leaf || right.size() < cfg.min_leaf) continue;
+      double gain = parent_sse - subset_sse(y, left) - subset_sse(y, right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+        best_left = std::move(left);
+        best_right = std::move(right);
+      }
+    }
+  }
+
+  if (best_feature < 0) return index;
+
+  int left = build(x, y, std::move(best_left), depth + 1, cfg, rng);
+  int right = build(x, y, std::move(best_right), depth + 1, cfg, rng);
+  nodes_[index].feature = best_feature;
+  nodes_[index].threshold = best_threshold;
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void RegressionTree::fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y, const std::vector<size_t>& rows,
+                         const ForestConfig& cfg, util::Rng& rng) {
+  nodes_.clear();
+  if (x.empty() || rows.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  build(x, y, rows, 0, cfg, rng);
+}
+
+double RegressionTree::predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  int idx = 0;
+  while (nodes_[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    idx = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(idx)].value;
+}
+
+RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
+
+void RandomForest::fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                       util::Rng& rng) {
+  if (x.size() != y.size() || x.empty()) throw std::runtime_error("forest: bad dataset");
+  trees_.assign(cfg_.num_trees, RegressionTree());
+  auto boot = static_cast<size_t>(cfg_.bootstrap_fraction * static_cast<double>(x.size()));
+  boot = std::max<size_t>(boot, 1);
+  for (auto& tree : trees_) {
+    std::vector<size_t> rows(boot);
+    for (auto& r : rows) r = static_cast<size_t>(rng.uniform_int(0, static_cast<int>(x.size()) - 1));
+    tree.fit(x, y, rows, cfg_, rng);
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+  if (trees_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(features);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace sensei::ml

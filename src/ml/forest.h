@@ -1,0 +1,60 @@
+// CART regression trees and a bagged random forest.
+//
+// Stands in for the random-forest core of the P.1203 QoE model (Robitza et
+// al.), which combines codec-level features with quality-incident metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::ml {
+
+struct ForestConfig {
+  size_t num_trees = 30;
+  size_t max_depth = 6;
+  size_t min_leaf = 3;
+  // Number of candidate features per split; 0 = sqrt(num_features).
+  size_t features_per_split = 0;
+  // Fraction of rows bootstrapped per tree.
+  double bootstrap_fraction = 0.8;
+};
+
+class RegressionTree {
+ public:
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           const std::vector<size_t>& rows, const ForestConfig& cfg, util::Rng& rng);
+  double predict(const std::vector<double>& features) const;
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 = leaf
+    double threshold = 0;  // go left if x[feature] <= threshold
+    double value = 0;      // leaf prediction
+    int left = -1, right = -1;
+  };
+
+  int build(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+            std::vector<size_t> rows, size_t depth, const ForestConfig& cfg, util::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig cfg = ForestConfig());
+
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           util::Rng& rng);
+  double predict(const std::vector<double>& features) const;
+  bool trained() const { return !trees_.empty(); }
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace sensei::ml

@@ -1,0 +1,215 @@
+#include "ml/lstm.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sensei::ml {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+LstmRegressor::LstmRegressor(size_t input_dim, size_t hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  size_t cols = input_dim + hidden_dim;
+  double scale = std::sqrt(1.0 / static_cast<double>(cols));
+  auto init = [&](std::vector<double>& w) {
+    w.resize(hidden_dim * cols);
+    for (auto& v : w) v = rng.normal(0.0, scale);
+  };
+  init(wi_);
+  init(wf_);
+  init(wo_);
+  init(wg_);
+  bi_.assign(hidden_dim, 0.0);
+  bf_.assign(hidden_dim, 1.0);  // forget-gate bias 1: standard trick
+  bo_.assign(hidden_dim, 0.0);
+  bg_.assign(hidden_dim, 0.0);
+  head_w_.resize(hidden_dim);
+  for (auto& v : head_w_) v = rng.normal(0.0, scale);
+}
+
+std::vector<LstmRegressor::Gates> LstmRegressor::forward_cached(
+    const std::vector<std::vector<double>>& seq) const {
+  std::vector<Gates> cache;
+  cache.reserve(seq.size());
+  std::vector<double> h(hidden_dim_, 0.0), c(hidden_dim_, 0.0);
+  size_t cols = input_dim_ + hidden_dim_;
+  for (const auto& x : seq) {
+    if (x.size() != input_dim_) throw std::runtime_error("lstm: bad feature dim");
+    Gates g;
+    g.i.resize(hidden_dim_);
+    g.f.resize(hidden_dim_);
+    g.o.resize(hidden_dim_);
+    g.g.resize(hidden_dim_);
+    g.c.resize(hidden_dim_);
+    g.h.resize(hidden_dim_);
+    for (size_t u = 0; u < hidden_dim_; ++u) {
+      double zi = bi_[u], zf = bf_[u], zo = bo_[u], zg = bg_[u];
+      const double* ri = &wi_[u * cols];
+      const double* rf = &wf_[u * cols];
+      const double* ro = &wo_[u * cols];
+      const double* rg = &wg_[u * cols];
+      for (size_t k = 0; k < input_dim_; ++k) {
+        zi += ri[k] * x[k];
+        zf += rf[k] * x[k];
+        zo += ro[k] * x[k];
+        zg += rg[k] * x[k];
+      }
+      for (size_t k = 0; k < hidden_dim_; ++k) {
+        zi += ri[input_dim_ + k] * h[k];
+        zf += rf[input_dim_ + k] * h[k];
+        zo += ro[input_dim_ + k] * h[k];
+        zg += rg[input_dim_ + k] * h[k];
+      }
+      g.i[u] = sigmoid(zi);
+      g.f[u] = sigmoid(zf);
+      g.o[u] = sigmoid(zo);
+      g.g[u] = std::tanh(zg);
+      g.c[u] = g.f[u] * c[u] + g.i[u] * g.g[u];
+      g.h[u] = g.o[u] * std::tanh(g.c[u]);
+    }
+    h = g.h;
+    c = g.c;
+    cache.push_back(std::move(g));
+  }
+  return cache;
+}
+
+double LstmRegressor::predict(const std::vector<std::vector<double>>& sequence) const {
+  if (sequence.empty()) return head_b_;
+  auto cache = forward_cached(sequence);
+  std::vector<double> h_mean(hidden_dim_, 0.0);
+  for (const auto& step : cache) {
+    for (size_t u = 0; u < hidden_dim_; ++u) h_mean[u] += step.h[u];
+  }
+  double y = head_b_;
+  for (size_t u = 0; u < hidden_dim_; ++u) {
+    y += head_w_[u] * h_mean[u] / static_cast<double>(cache.size());
+  }
+  return y;
+}
+
+double LstmRegressor::train_step(const std::vector<std::vector<double>>& seq, double target,
+                                 double lr) {
+  if (seq.empty()) return 0.0;
+  auto cache = forward_cached(seq);
+  const size_t T = seq.size();
+  const size_t cols = input_dim_ + hidden_dim_;
+
+  // Mean-pooled readout: y = head . mean_t(h_t) + b.
+  std::vector<double> h_mean(hidden_dim_, 0.0);
+  for (const auto& step : cache) {
+    for (size_t u = 0; u < hidden_dim_; ++u) h_mean[u] += step.h[u];
+  }
+  for (size_t u = 0; u < hidden_dim_; ++u) h_mean[u] /= static_cast<double>(T);
+  double y = head_b_;
+  for (size_t u = 0; u < hidden_dim_; ++u) y += head_w_[u] * h_mean[u];
+  double err = y - target;
+  double loss = 0.5 * err * err;
+
+  // Every step's hidden state receives err*head_w/T from the pooled head;
+  // the seed for the last step starts the backward recursion.
+  std::vector<double> dh_seed(hidden_dim_, 0.0);
+  for (size_t u = 0; u < hidden_dim_; ++u) {
+    dh_seed[u] = err * head_w_[u] / static_cast<double>(T);
+  }
+  std::vector<double> dh = dh_seed, dc(hidden_dim_, 0.0);
+
+  std::vector<double> gwi(wi_.size(), 0.0), gwf(wf_.size(), 0.0), gwo(wo_.size(), 0.0),
+      gwg(wg_.size(), 0.0);
+  std::vector<double> gbi(hidden_dim_, 0.0), gbf(hidden_dim_, 0.0), gbo(hidden_dim_, 0.0),
+      gbg(hidden_dim_, 0.0);
+
+  for (size_t t = T; t-- > 0;) {
+    const Gates& g = cache[t];
+    const std::vector<double>& h_prev =
+        t > 0 ? cache[t - 1].h : std::vector<double>(hidden_dim_, 0.0);
+    const std::vector<double>& c_prev =
+        t > 0 ? cache[t - 1].c : std::vector<double>(hidden_dim_, 0.0);
+    const auto& x = seq[t];
+
+    std::vector<double> dh_prev(hidden_dim_, 0.0), dc_prev(hidden_dim_, 0.0);
+    for (size_t u = 0; u < hidden_dim_; ++u) {
+      double tanh_c = std::tanh(g.c[u]);
+      double do_u = dh[u] * tanh_c;
+      double dc_u = dc[u] + dh[u] * g.o[u] * (1.0 - tanh_c * tanh_c);
+      double di_u = dc_u * g.g[u];
+      double dg_u = dc_u * g.i[u];
+      double df_u = dc_u * c_prev[u];
+      dc_prev[u] = dc_u * g.f[u];
+
+      // Pre-activation gradients.
+      double zi = di_u * g.i[u] * (1.0 - g.i[u]);
+      double zf = df_u * g.f[u] * (1.0 - g.f[u]);
+      double zo = do_u * g.o[u] * (1.0 - g.o[u]);
+      double zg = dg_u * (1.0 - g.g[u] * g.g[u]);
+
+      gbi[u] += zi;
+      gbf[u] += zf;
+      gbo[u] += zo;
+      gbg[u] += zg;
+      double* rwi = &gwi[u * cols];
+      double* rwf = &gwf[u * cols];
+      double* rwo = &gwo[u * cols];
+      double* rwg = &gwg[u * cols];
+      for (size_t k = 0; k < input_dim_; ++k) {
+        rwi[k] += zi * x[k];
+        rwf[k] += zf * x[k];
+        rwo[k] += zo * x[k];
+        rwg[k] += zg * x[k];
+      }
+      for (size_t k = 0; k < hidden_dim_; ++k) {
+        rwi[input_dim_ + k] += zi * h_prev[k];
+        rwf[input_dim_ + k] += zf * h_prev[k];
+        rwo[input_dim_ + k] += zo * h_prev[k];
+        rwg[input_dim_ + k] += zg * h_prev[k];
+        dh_prev[k] += zi * wi_[u * cols + input_dim_ + k] +
+                      zf * wf_[u * cols + input_dim_ + k] +
+                      zo * wo_[u * cols + input_dim_ + k] +
+                      zg * wg_[u * cols + input_dim_ + k];
+      }
+    }
+    // The previous step's hidden state also feeds the pooled head directly.
+    for (size_t u = 0; u < hidden_dim_; ++u) dh_prev[u] += dh_seed[u];
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+
+  // Gradient clipping keeps tiny-dataset BPTT stable.
+  auto clip = [](double v) { return v > 5.0 ? 5.0 : (v < -5.0 ? -5.0 : v); };
+  for (size_t i = 0; i < wi_.size(); ++i) {
+    wi_[i] -= lr * clip(gwi[i]);
+    wf_[i] -= lr * clip(gwf[i]);
+    wo_[i] -= lr * clip(gwo[i]);
+    wg_[i] -= lr * clip(gwg[i]);
+  }
+  for (size_t u = 0; u < hidden_dim_; ++u) {
+    bi_[u] -= lr * clip(gbi[u]);
+    bf_[u] -= lr * clip(gbf[u]);
+    bo_[u] -= lr * clip(gbo[u]);
+    bg_[u] -= lr * clip(gbg[u]);
+    head_w_[u] -= lr * clip(err * h_mean[u]);
+  }
+  head_b_ -= lr * clip(err);
+  return loss;
+}
+
+double LstmRegressor::fit(const std::vector<std::vector<std::vector<double>>>& sequences,
+                          const std::vector<double>& targets, int epochs, double lr,
+                          util::Rng& rng) {
+  if (sequences.size() != targets.size()) throw std::runtime_error("lstm: dataset mismatch");
+  std::vector<size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  double last_mean_loss = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    double acc = 0.0;
+    for (size_t idx : order) acc += train_step(sequences[idx], targets[idx], lr);
+    last_mean_loss = sequences.empty() ? 0.0 : acc / static_cast<double>(sequences.size());
+  }
+  return last_mean_loss;
+}
+
+}  // namespace sensei::ml

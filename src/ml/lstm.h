@@ -1,0 +1,56 @@
+// Single-layer LSTM with a linear regression head over the *mean* hidden
+// state, trained by backpropagation through time. Powers the LSTM-QoE
+// baseline (Eswara et al.), which maps a per-chunk feature sequence to an
+// overall quality score. Mean pooling (rather than last-state readout) keeps
+// gradients alive on the 50-150 step sequences our videos produce.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::ml {
+
+class LstmRegressor {
+ public:
+  LstmRegressor() = default;
+  LstmRegressor(size_t input_dim, size_t hidden_dim, util::Rng& rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+  // Runs the sequence and returns the scalar prediction from the final
+  // hidden state.
+  double predict(const std::vector<std::vector<double>>& sequence) const;
+
+  // One SGD step on a single (sequence, target) pair with squared loss.
+  // Returns the loss before the update.
+  double train_step(const std::vector<std::vector<double>>& sequence, double target,
+                    double lr);
+
+  // Convenience: epochs over a dataset (shuffled each epoch). Returns final
+  // mean loss.
+  double fit(const std::vector<std::vector<std::vector<double>>>& sequences,
+             const std::vector<double>& targets, int epochs, double lr, util::Rng& rng);
+
+ private:
+  struct Gates {
+    std::vector<double> i, f, o, g;  // post-activation gate values
+    std::vector<double> c, h;        // cell and hidden states after the step
+  };
+
+  // Forward over the sequence collecting per-step caches.
+  std::vector<Gates> forward_cached(const std::vector<std::vector<double>>& seq) const;
+
+  size_t input_dim_ = 0;
+  size_t hidden_dim_ = 0;
+  // Gate weight matrices, each (hidden x (input + hidden)), and biases.
+  std::vector<double> wi_, wf_, wo_, wg_;
+  std::vector<double> bi_, bf_, bo_, bg_;
+  // Regression head.
+  std::vector<double> head_w_;
+  double head_b_ = 0.0;
+};
+
+}  // namespace sensei::ml

@@ -1,0 +1,185 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensei::ml {
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  if (logits.empty()) return {};
+  double max_logit = logits[0];
+  for (double v : logits) max_logit = std::max(max_logit, v);
+  std::vector<double> out(logits.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+Mlp::Mlp(size_t input_dim, std::vector<LayerSpec> layers, util::Rng& rng)
+    : input_dim_(input_dim) {
+  if (layers.empty()) throw std::runtime_error("mlp: no layers");
+  size_t in = input_dim;
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const auto& spec = layers[li];
+    if (spec.activation == Activation::kSoftmax && li + 1 != layers.size())
+      throw std::runtime_error("mlp: softmax must be the last layer");
+    Layer l;
+    l.in = in;
+    l.out = spec.units;
+    l.activation = spec.activation;
+    l.w.resize(l.in * l.out);
+    l.b.assign(l.out, 0.0);
+    // He/Xavier-ish init scaled by fan-in.
+    double scale = std::sqrt(2.0 / static_cast<double>(l.in));
+    for (auto& w : l.w) w = rng.normal(0.0, scale);
+    l.gw.assign(l.w.size(), 0.0);
+    l.gb.assign(l.out, 0.0);
+    l.mw.assign(l.w.size(), 0.0);
+    l.vw.assign(l.w.size(), 0.0);
+    l.mb.assign(l.out, 0.0);
+    l.vb.assign(l.out, 0.0);
+    layers_.push_back(std::move(l));
+    in = spec.units;
+  }
+}
+
+size_t Mlp::output_dim() const { return layers_.empty() ? 0 : layers_.back().out; }
+
+std::vector<double> Mlp::activate(const std::vector<double>& z, Activation a) const {
+  switch (a) {
+    case Activation::kLinear:
+      return z;
+    case Activation::kReLU: {
+      std::vector<double> out(z.size());
+      for (size_t i = 0; i < z.size(); ++i) out[i] = z[i] > 0 ? z[i] : 0.0;
+      return out;
+    }
+    case Activation::kTanh: {
+      std::vector<double> out(z.size());
+      for (size_t i = 0; i < z.size(); ++i) out[i] = std::tanh(z[i]);
+      return out;
+    }
+    case Activation::kSoftmax:
+      return softmax(z);
+  }
+  return z;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  if (x.size() != input_dim_) throw std::runtime_error("mlp: bad input size");
+  std::vector<double> h = x;
+  for (const auto& l : layers_) {
+    std::vector<double> z(l.out, 0.0);
+    for (size_t o = 0; o < l.out; ++o) {
+      double acc = l.b[o];
+      const double* row = &l.w[o * l.in];
+      for (size_t i = 0; i < l.in; ++i) acc += row[i] * h[i];
+      z[o] = acc;
+    }
+    h = activate(z, l.activation);
+  }
+  return h;
+}
+
+void Mlp::accumulate_gradient(const std::vector<double>& x,
+                              const std::vector<double>& dloss_doutput) {
+  if (x.size() != input_dim_) throw std::runtime_error("mlp: bad input size");
+  // Forward with caches.
+  std::vector<std::vector<double>> inputs;   // input to each layer
+  std::vector<std::vector<double>> zs;       // pre-activation
+  std::vector<double> h = x;
+  for (const auto& l : layers_) {
+    inputs.push_back(h);
+    std::vector<double> z(l.out, 0.0);
+    for (size_t o = 0; o < l.out; ++o) {
+      double acc = l.b[o];
+      const double* row = &l.w[o * l.in];
+      for (size_t i = 0; i < l.in; ++i) acc += row[i] * h[i];
+      z[o] = acc;
+    }
+    zs.push_back(z);
+    h = activate(z, l.activation);
+  }
+
+  // Backward.
+  std::vector<double> delta = dloss_doutput;  // dL/dz for softmax; dL/dh otherwise
+  for (size_t li = layers_.size(); li-- > 0;) {
+    Layer& l = layers_[li];
+    const auto& z = zs[li];
+    // Fold activation derivative into delta (softmax handled by caller).
+    if (l.activation == Activation::kReLU) {
+      for (size_t o = 0; o < l.out; ++o)
+        if (z[o] <= 0.0) delta[o] = 0.0;
+    } else if (l.activation == Activation::kTanh) {
+      for (size_t o = 0; o < l.out; ++o) {
+        double t = std::tanh(z[o]);
+        delta[o] *= 1.0 - t * t;
+      }
+    }
+    const auto& in = inputs[li];
+    for (size_t o = 0; o < l.out; ++o) {
+      l.gb[o] += delta[o];
+      double* grow = &l.gw[o * l.in];
+      for (size_t i = 0; i < l.in; ++i) grow[i] += delta[o] * in[i];
+    }
+    if (li > 0) {
+      std::vector<double> prev(l.in, 0.0);
+      for (size_t o = 0; o < l.out; ++o) {
+        const double* row = &l.w[o * l.in];
+        for (size_t i = 0; i < l.in; ++i) prev[i] += row[i] * delta[o];
+      }
+      delta = std::move(prev);
+    }
+  }
+}
+
+void Mlp::apply_adam(double lr, size_t batch) {
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  ++adam_t_;
+  double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  double inv_batch = batch > 0 ? 1.0 / static_cast<double>(batch) : 1.0;
+  for (auto& l : layers_) {
+    for (size_t i = 0; i < l.w.size(); ++i) {
+      double g = l.gw[i] * inv_batch;
+      l.mw[i] = kBeta1 * l.mw[i] + (1 - kBeta1) * g;
+      l.vw[i] = kBeta2 * l.vw[i] + (1 - kBeta2) * g * g;
+      l.w[i] -= lr * (l.mw[i] / bc1) / (std::sqrt(l.vw[i] / bc2) + kEps);
+    }
+    for (size_t i = 0; i < l.b.size(); ++i) {
+      double g = l.gb[i] * inv_batch;
+      l.mb[i] = kBeta1 * l.mb[i] + (1 - kBeta1) * g;
+      l.vb[i] = kBeta2 * l.vb[i] + (1 - kBeta2) * g * g;
+      l.b[i] -= lr * (l.mb[i] / bc1) / (std::sqrt(l.vb[i] / bc2) + kEps);
+    }
+  }
+  zero_gradients();
+}
+
+void Mlp::zero_gradients() {
+  for (auto& l : layers_) {
+    std::fill(l.gw.begin(), l.gw.end(), 0.0);
+    std::fill(l.gb.begin(), l.gb.end(), 0.0);
+  }
+}
+
+double Mlp::parameter_norm() const {
+  double acc = 0.0;
+  for (const auto& l : layers_) {
+    for (double w : l.w) acc += w * w;
+    for (double b : l.b) acc += b * b;
+  }
+  return std::sqrt(acc);
+}
+
+size_t Mlp::parameter_count() const {
+  size_t n = 0;
+  for (const auto& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+}  // namespace sensei::ml

@@ -1,0 +1,73 @@
+// Minimal multi-layer perceptron with manual backprop and Adam.
+//
+// Serves two consumers: the Pensieve-style actor-critic policy (softmax head
+// with policy-gradient updates) and small regression heads. Deliberately
+// dependency-free and deterministic under a seeded Rng.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::ml {
+
+enum class Activation { kReLU, kTanh, kLinear, kSoftmax };
+
+struct LayerSpec {
+  size_t units = 0;
+  Activation activation = Activation::kReLU;
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  // `input_dim` features in; layers as specified (softmax only valid last).
+  Mlp(size_t input_dim, std::vector<LayerSpec> layers, util::Rng& rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const;
+
+  // Forward pass.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  // Backward pass for a single example. `dloss_doutput` is dL/d(output) —
+  // for a softmax layer pass dL/d(logits) directly (caller folds the softmax
+  // Jacobian, which for cross-entropy-style losses is `p - onehot`).
+  // Accumulates gradients internally; call `apply_adam` to update.
+  void accumulate_gradient(const std::vector<double>& x,
+                           const std::vector<double>& dloss_doutput);
+
+  // Adam step over accumulated gradients (averaged over `batch` examples),
+  // then clears the accumulator.
+  void apply_adam(double lr, size_t batch = 1);
+
+  void zero_gradients();
+
+  // L2 norm of parameters (for tests / debugging).
+  double parameter_norm() const;
+
+  size_t parameter_count() const;
+
+ private:
+  struct Layer {
+    size_t in = 0, out = 0;
+    Activation activation = Activation::kLinear;
+    std::vector<double> w;   // out x in, row-major
+    std::vector<double> b;   // out
+    std::vector<double> gw;  // gradient accumulators
+    std::vector<double> gb;
+    std::vector<double> mw, vw, mb, vb;  // Adam moments
+  };
+
+  std::vector<double> activate(const std::vector<double>& z, Activation a) const;
+
+  size_t input_dim_ = 0;
+  std::vector<Layer> layers_;
+  size_t adam_t_ = 0;
+};
+
+// Softmax over arbitrary logits (numerically stable); exposed for reuse.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+}  // namespace sensei::ml

@@ -1,0 +1,84 @@
+#include "net/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sensei::net {
+
+std::vector<ThroughputScenario> ThroughputPredictor::scenarios() const {
+  return {{predict_kbps(), 1.0}};
+}
+
+HarmonicMeanPredictor::HarmonicMeanPredictor(size_t window, double initial_kbps)
+    : window_(window), initial_kbps_(initial_kbps) {}
+
+void HarmonicMeanPredictor::observe(double kbps) {
+  if (kbps <= 0.0) kbps = 1.0;
+  history_.push_back(kbps);
+  while (history_.size() > window_) history_.pop_front();
+}
+
+double HarmonicMeanPredictor::predict_kbps() const {
+  if (history_.empty()) return initial_kbps_;
+  double inv_sum = 0.0;
+  for (double v : history_) inv_sum += 1.0 / v;
+  return static_cast<double>(history_.size()) / inv_sum;
+}
+
+void HarmonicMeanPredictor::reset() { history_.clear(); }
+
+EwmaPredictor::EwmaPredictor(double alpha, double initial_kbps)
+    : alpha_(alpha), initial_kbps_(initial_kbps), estimate_(initial_kbps) {}
+
+void EwmaPredictor::observe(double kbps) {
+  if (kbps <= 0.0) kbps = 1.0;
+  if (!seeded_) {
+    estimate_ = kbps;
+    seeded_ = true;
+  } else {
+    estimate_ = alpha_ * kbps + (1.0 - alpha_) * estimate_;
+  }
+}
+
+double EwmaPredictor::predict_kbps() const { return estimate_; }
+
+void EwmaPredictor::reset() {
+  estimate_ = initial_kbps_;
+  seeded_ = false;
+}
+
+ScenarioPredictor::ScenarioPredictor(size_t window, double initial_kbps)
+    : point_(window, initial_kbps), window_(window) {}
+
+void ScenarioPredictor::observe(double kbps) {
+  point_.observe(kbps);
+  history_.push_back(std::max(1.0, kbps));
+  while (history_.size() > window_) history_.pop_front();
+}
+
+double ScenarioPredictor::predict_kbps() const { return point_.predict_kbps(); }
+
+std::vector<ThroughputScenario> ScenarioPredictor::scenarios() const {
+  double center = point_.predict_kbps();
+  // Coefficient of variation of recent samples decides the scenario spread.
+  double cv = 0.25;
+  if (history_.size() >= 3) {
+    std::vector<double> v(history_.begin(), history_.end());
+    double m = util::mean(v);
+    if (m > 0.0) cv = util::clamp(util::stddev(v) / m, 0.05, 0.8);
+  }
+  return {
+      {std::max(30.0, center * (1.0 - cv)), 0.25},
+      {center, 0.5},
+      {center * (1.0 + cv), 0.25},
+  };
+}
+
+void ScenarioPredictor::reset() {
+  point_.reset();
+  history_.clear();
+}
+
+}  // namespace sensei::net

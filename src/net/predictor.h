@@ -1,0 +1,84 @@
+// Throughput predictors used by the MPC-style ABR algorithms.
+//
+// Fugu's controller (paper Eq. 3) needs a *probabilistic* forecast: a small
+// discrete distribution over near-future throughput. We provide a harmonic-
+// mean point predictor (MPC classic), an EWMA predictor, and a discrete
+// scenario predictor that wraps a point estimate with low/expected/high
+// scenarios weighted by recent prediction-error statistics.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace sensei::net {
+
+// One throughput scenario: value (Kbps) with probability.
+struct ThroughputScenario {
+  double kbps = 0.0;
+  double probability = 0.0;
+};
+
+class ThroughputPredictor {
+ public:
+  virtual ~ThroughputPredictor() = default;
+
+  // Records an observed chunk download: bytes over elapsed seconds.
+  virtual void observe(double kbps) = 0;
+
+  // Point estimate for the next chunks (Kbps).
+  virtual double predict_kbps() const = 0;
+
+  // Discrete distribution (defaults to a single point scenario).
+  virtual std::vector<ThroughputScenario> scenarios() const;
+
+  virtual void reset() = 0;
+};
+
+// Harmonic mean of the last `window` observations — robust to outliers and
+// the standard choice in MPC ABR.
+class HarmonicMeanPredictor : public ThroughputPredictor {
+ public:
+  explicit HarmonicMeanPredictor(size_t window = 5, double initial_kbps = 1000.0);
+  void observe(double kbps) override;
+  double predict_kbps() const override;
+  void reset() override;
+
+ private:
+  size_t window_;
+  double initial_kbps_;
+  std::deque<double> history_;
+};
+
+class EwmaPredictor : public ThroughputPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3, double initial_kbps = 1000.0);
+  void observe(double kbps) override;
+  double predict_kbps() const override;
+  void reset() override;
+
+ private:
+  double alpha_;
+  double initial_kbps_;
+  double estimate_;
+  bool seeded_ = false;
+};
+
+// Fugu-style probabilistic predictor: harmonic-mean point estimate spread
+// into {low, expected, high} scenarios whose spread tracks the coefficient of
+// variation of recent observations.
+class ScenarioPredictor : public ThroughputPredictor {
+ public:
+  explicit ScenarioPredictor(size_t window = 8, double initial_kbps = 1000.0);
+  void observe(double kbps) override;
+  double predict_kbps() const override;
+  std::vector<ThroughputScenario> scenarios() const override;
+  void reset() override;
+
+ private:
+  HarmonicMeanPredictor point_;
+  std::deque<double> history_;
+  size_t window_;
+};
+
+}  // namespace sensei::net

@@ -1,0 +1,97 @@
+#include "net/trace.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sensei::net {
+
+ThroughputTrace::ThroughputTrace(std::string name, std::vector<double> samples_kbps,
+                                 double interval_s)
+    : name_(std::move(name)), samples_(std::move(samples_kbps)), interval_s_(interval_s) {
+  if (samples_.empty()) throw std::runtime_error("trace: no samples");
+  if (interval_s_ <= 0.0) throw std::runtime_error("trace: interval must be > 0");
+  for (double s : samples_) {
+    if (s < 0.0) throw std::runtime_error("trace: negative throughput");
+  }
+}
+
+double ThroughputTrace::throughput_at(double t_s) const {
+  if (t_s < 0.0) t_s = 0.0;
+  auto idx = static_cast<size_t>(t_s / interval_s_);
+  return samples_[idx % samples_.size()];
+}
+
+double ThroughputTrace::mean_kbps() const { return util::mean(samples_); }
+
+double ThroughputTrace::stddev_kbps() const { return util::stddev(samples_); }
+
+double ThroughputTrace::download_time_s(double bytes, double start_s, double rtt_s) const {
+  if (bytes <= 0.0) return rtt_s;
+  double remaining_bits = bytes * 8.0;
+  double t = start_s;
+  // Integrate the step function; guard against an all-zero trace stretch by
+  // capping the walk at 10,000 intervals (treat as stalled-forever).
+  for (int guard = 0; guard < 10000; ++guard) {
+    double kbps = throughput_at(t);
+    double interval_end = (std::floor(t / interval_s_) + 1.0) * interval_s_;
+    double span = interval_end - t;
+    double capacity_bits = kbps * 1000.0 * span;
+    if (kbps > 0.0 && capacity_bits >= remaining_bits) {
+      return (t - start_s) + remaining_bits / (kbps * 1000.0) + rtt_s;
+    }
+    remaining_bits -= capacity_bits;
+    t = interval_end;
+  }
+  return (t - start_s) + rtt_s;
+}
+
+ThroughputTrace ThroughputTrace::scaled(double factor, const std::string& new_name) const {
+  if (factor < 0.0) throw std::runtime_error("trace: negative scale factor");
+  std::vector<double> scaled_samples(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) scaled_samples[i] = samples_[i] * factor;
+  return ThroughputTrace(new_name.empty() ? name_ + "-x" + std::to_string(factor) : new_name,
+                         std::move(scaled_samples), interval_s_);
+}
+
+ThroughputTrace ThroughputTrace::with_noise(double sigma_kbps, uint64_t seed,
+                                            double floor_kbps) const {
+  util::Rng rng(seed);
+  std::vector<double> noisy(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    noisy[i] = std::max(floor_kbps, samples_[i] + rng.normal(0.0, sigma_kbps));
+  }
+  return ThroughputTrace(name_ + "+noise", std::move(noisy), interval_s_);
+}
+
+std::string ThroughputTrace::to_csv() const {
+  std::ostringstream os;
+  os << "time_s,throughput_kbps\n";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    os << static_cast<double>(i) * interval_s_ << ',' << samples_[i] << '\n';
+  }
+  return os.str();
+}
+
+ThroughputTrace ThroughputTrace::from_csv(const std::string& name, const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  std::vector<double> times;
+  std::vector<double> samples;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.find("time_s") != std::string::npos) continue;
+    auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    times.push_back(std::stod(line.substr(0, comma)));
+    samples.push_back(std::stod(line.substr(comma + 1)));
+  }
+  if (samples.empty()) throw std::runtime_error("trace: empty csv");
+  double interval = times.size() >= 2 ? times[1] - times[0] : 1.0;
+  if (interval <= 0.0) interval = 1.0;
+  return ThroughputTrace(name, std::move(samples), interval);
+}
+
+}  // namespace sensei::net

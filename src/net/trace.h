@@ -1,0 +1,54 @@
+// Network throughput traces.
+//
+// A trace is a step function: samples[i] holds the link throughput (Kbps)
+// over [i * interval_s, (i+1) * interval_s). Traces wrap around when a
+// session outlives them, following common practice in ABR simulators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sensei::net {
+
+class ThroughputTrace {
+ public:
+  ThroughputTrace() = default;
+  ThroughputTrace(std::string name, std::vector<double> samples_kbps, double interval_s = 1.0);
+
+  const std::string& name() const { return name_; }
+  double interval_s() const { return interval_s_; }
+  size_t sample_count() const { return samples_.size(); }
+  const std::vector<double>& samples_kbps() const { return samples_; }
+  double duration_s() const { return interval_s_ * static_cast<double>(samples_.size()); }
+
+  // Instantaneous throughput at time t (wraps past the end).
+  double throughput_at(double t_s) const;
+
+  // Mean and population stddev over all samples.
+  double mean_kbps() const;
+  double stddev_kbps() const;
+
+  // Simulates downloading `bytes` starting at `start_s`; returns the elapsed
+  // seconds, integrating the step function exactly (plus a fixed RTT).
+  double download_time_s(double bytes, double start_s, double rtt_s = 0.08) const;
+
+  // Returns a copy scaled by `factor` (used for the bandwidth-ratio sweeps).
+  ThroughputTrace scaled(double factor, const std::string& new_name = "") const;
+
+  // Returns a copy with zero-mean Gaussian noise of stddev `sigma_kbps` added
+  // to every sample (floored at `floor_kbps`), as in Figure 17's variance
+  // sweep. Deterministic in `seed`.
+  ThroughputTrace with_noise(double sigma_kbps, uint64_t seed,
+                             double floor_kbps = 50.0) const;
+
+  // CSV persistence: one "time_s,kbps" row per sample.
+  std::string to_csv() const;
+  static ThroughputTrace from_csv(const std::string& name, const std::string& csv);
+
+ private:
+  std::string name_;
+  std::vector<double> samples_;  // Kbps
+  double interval_s_ = 1.0;
+};
+
+}  // namespace sensei::net

@@ -1,0 +1,90 @@
+#include "net/trace_gen.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sensei::net {
+
+using util::Rng;
+
+ThroughputTrace TraceGenerator::cellular(const std::string& name, double mean_kbps,
+                                         double duration_s, uint64_t seed) {
+  Rng rng(seed);
+  auto n = static_cast<size_t>(std::ceil(duration_s));
+  std::vector<double> samples;
+  samples.reserve(n);
+
+  // Multi-state Markov: levels are multiples of the mean; fades are rare but
+  // deep, mirroring HSDPA commute traces.
+  const std::vector<double> level_factor = {0.25, 0.55, 0.9, 1.3, 1.8};
+  const std::vector<double> level_weight = {0.10, 0.22, 0.33, 0.25, 0.10};
+  size_t state = 2;
+  double dwell_left = rng.exponential(6.0);
+  while (samples.size() < n) {
+    if (dwell_left <= 0.0) {
+      state = rng.weighted_index(level_weight);
+      dwell_left = rng.exponential(6.0);
+    }
+    double base = mean_kbps * level_factor[state];
+    double jitter = rng.normal(0.0, 0.12 * base);
+    samples.push_back(std::max(30.0, base + jitter));
+    dwell_left -= 1.0;
+  }
+  return ThroughputTrace(name, std::move(samples), 1.0);
+}
+
+ThroughputTrace TraceGenerator::broadband(const std::string& name, double mean_kbps,
+                                          double duration_s, uint64_t seed) {
+  Rng rng(seed);
+  auto n = static_cast<size_t>(std::ceil(duration_s));
+  std::vector<double> samples;
+  samples.reserve(n);
+
+  double level = mean_kbps;
+  int dip_left = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // AR(1) wander with slow reversion to the mean.
+    level = 0.92 * level + 0.08 * mean_kbps + rng.normal(0.0, 0.05 * mean_kbps);
+    double value = level;
+    if (dip_left > 0) {
+      value *= 0.35;
+      --dip_left;
+    } else if (rng.chance(0.02)) {
+      dip_left = rng.uniform_int(2, 6);
+    }
+    samples.push_back(std::max(50.0, value));
+  }
+  return ThroughputTrace(name, std::move(samples), 1.0);
+}
+
+std::vector<ThroughputTrace> TraceGenerator::test_set(double duration_s) {
+  // 5 cellular + 5 broadband, means spanning 0.4..5.2 Mbps, ordered by mean.
+  std::vector<ThroughputTrace> traces;
+  traces.push_back(cellular("hsdpa-01", 450, duration_s, 101));
+  traces.push_back(cellular("hsdpa-02", 800, duration_s, 102));
+  traces.push_back(broadband("fcc-01", 1100, duration_s, 103));
+  traces.push_back(cellular("hsdpa-03", 1500, duration_s, 104));
+  traces.push_back(broadband("fcc-02", 1900, duration_s, 105));
+  traces.push_back(cellular("hsdpa-04", 2300, duration_s, 106));
+  traces.push_back(broadband("fcc-03", 2800, duration_s, 107));
+  traces.push_back(cellular("hsdpa-05", 3400, duration_s, 108));
+  traces.push_back(broadband("fcc-04", 4200, duration_s, 109));
+  traces.push_back(broadband("fcc-05", 5200, duration_s, 110));
+  return traces;
+}
+
+std::vector<ThroughputTrace> TraceGenerator::motivation_set(double duration_s) {
+  std::vector<ThroughputTrace> traces;
+  traces.push_back(cellular("moto-cell-1", 600, duration_s, 201));
+  traces.push_back(cellular("moto-cell-2", 1200, duration_s, 202));
+  traces.push_back(cellular("moto-cell-3", 2100, duration_s, 203));
+  traces.push_back(broadband("moto-bb-1", 1600, duration_s, 204));
+  traces.push_back(broadband("moto-bb-2", 2600, duration_s, 205));
+  traces.push_back(broadband("moto-bb-3", 3800, duration_s, 206));
+  traces.push_back(broadband("moto-bb-4", 5000, duration_s, 207));
+  return traces;
+}
+
+}  // namespace sensei::net

@@ -1,0 +1,37 @@
+// Synthetic throughput-trace generators shaped like the paper's two sources:
+//  - FCC broadband: relatively stable around a mean with occasional dips.
+//  - 3G/HSDPA (Riiser et al.): bursty cellular links with multi-state
+//    Markov level changes on a seconds timescale.
+//
+// The paper randomly selects 10 traces with means in [0.2, 6] Mbps; the
+// test_set() here reproduces that mix (5 cellular + 5 broadband, means
+// spread over the range, ordered by increasing average throughput as in
+// Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace sensei::net {
+
+class TraceGenerator {
+ public:
+  // Markov-modulated cellular-like trace: states are throughput levels around
+  // `mean_kbps`; dwell times are exponential; deep fades occur occasionally.
+  static ThroughputTrace cellular(const std::string& name, double mean_kbps,
+                                  double duration_s, uint64_t seed);
+
+  // Broadband-like trace: AR(1) wander around the mean plus rare short dips.
+  static ThroughputTrace broadband(const std::string& name, double mean_kbps,
+                                   double duration_s, uint64_t seed);
+
+  // The 10-trace evaluation set (§7.1), ordered by increasing mean throughput.
+  static std::vector<ThroughputTrace> test_set(double duration_s = 700.0);
+
+  // The 7-trace set used in §2.2's motivation study.
+  static std::vector<ThroughputTrace> motivation_set(double duration_s = 700.0);
+};
+
+}  // namespace sensei::net

@@ -1,0 +1,32 @@
+#include "qoe/chunk_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sensei::qoe {
+
+double stall_penalty(double stall_s, const ChunkQualityParams& p) {
+  if (stall_s <= 0.0) return 0.0;
+  return stall_s / (1.0 + p.rebuf_saturation * stall_s);
+}
+
+double chunk_quality(double visual_quality, double stall_s, double prev_visual_quality,
+                     const ChunkQualityParams& p) {
+  double q = visual_quality - p.beta_rebuf * stall_penalty(stall_s, p) -
+             p.beta_switch * std::abs(visual_quality - prev_visual_quality);
+  return std::max(p.floor, q);
+}
+
+std::vector<double> chunk_qualities(const sim::RenderedVideo& video,
+                                    const ChunkQualityParams& p) {
+  std::vector<double> q;
+  q.reserve(video.num_chunks());
+  for (size_t i = 0; i < video.num_chunks(); ++i) {
+    const auto& c = video.chunk(i);
+    double prev_vq = i > 0 ? video.chunk(i - 1).visual_quality : c.visual_quality;
+    q.push_back(chunk_quality(c.visual_quality, c.rebuffer_s, prev_vq, p));
+  }
+  return q;
+}
+
+}  // namespace sensei::qoe

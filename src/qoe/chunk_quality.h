@@ -1,0 +1,34 @@
+// Per-chunk quality contribution q(b, t) shared across the stack.
+//
+// This is the "simplified model of KSQI" the paper plugs into Fugu's
+// objective (Eq. 3) and the q_i term of SENSEI's reweighted QoE (Eq. 2):
+//   q_i = vq_i - beta_rebuf * pen(t_i) - beta_switch * |vq_i - vq_{i-1}|
+// with a saturating stall penalty pen(t) = t / (1 + sat * t) reflecting the
+// diminishing marginal annoyance of longer stalls, and a floor so one
+// catastrophic chunk cannot dominate an entire session unboundedly.
+#pragma once
+
+#include "sim/render.h"
+
+namespace sensei::qoe {
+
+struct ChunkQualityParams {
+  double beta_rebuf = 1.1;   // stall penalty scale
+  double rebuf_saturation = 0.30;
+  double beta_switch = 0.40;  // smoothness penalty scale
+  double floor = -0.5;        // per-chunk quality floor
+};
+
+// Saturating stall penalty.
+double stall_penalty(double stall_s, const ChunkQualityParams& p = ChunkQualityParams());
+
+// Quality contribution of a chunk given its visual quality, the stall before
+// it, and the previous chunk's visual quality (pass vq itself for chunk 0).
+double chunk_quality(double visual_quality, double stall_s, double prev_visual_quality,
+                     const ChunkQualityParams& p = ChunkQualityParams());
+
+// Vector of q_i over a rendered video.
+std::vector<double> chunk_qualities(const sim::RenderedVideo& video,
+                                    const ChunkQualityParams& p = ChunkQualityParams());
+
+}  // namespace sensei::qoe

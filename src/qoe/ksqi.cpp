@@ -1,0 +1,35 @@
+#include "qoe/ksqi.h"
+
+#include "util/regression.h"
+#include "util/stats.h"
+
+namespace sensei::qoe {
+
+KsqiModel::KsqiModel(ChunkQualityParams params) : params_(params) {}
+
+double KsqiModel::raw_score(const sim::RenderedVideo& video) const {
+  if (video.num_chunks() == 0) return 0.0;
+  std::vector<double> q = chunk_qualities(video, params_);
+  double base = util::mean(q);
+  return base - startup_weight_ * stall_penalty(video.startup_delay_s(), params_);
+}
+
+double KsqiModel::predict(const sim::RenderedVideo& video) const {
+  return util::clamp(scale_ * raw_score(video) + offset_, 0.0, 1.0);
+}
+
+void KsqiModel::train(const std::vector<sim::RenderedVideo>& videos,
+                      const std::vector<double>& mos) {
+  if (videos.size() != mos.size() || videos.size() < 3) return;
+  // Affine calibration raw -> MOS by OLS on [raw, 1].
+  std::vector<std::vector<double>> rows;
+  rows.reserve(videos.size());
+  for (const auto& v : videos) rows.push_back({raw_score(v), 1.0});
+  auto fit = util::fit_least_squares(rows, mos, 1e-6);
+  if (fit.coefficients.size() == 2 && fit.coefficients[0] > 0.0) {
+    scale_ = fit.coefficients[0];
+    offset_ = fit.coefficients[1];
+  }
+}
+
+}  // namespace sensei::qoe

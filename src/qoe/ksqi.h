@@ -1,0 +1,39 @@
+// KSQI-style QoE model (Duanmu et al.).
+//
+// The original combines VMAF, rebuffering and quality-switch terms in a
+// knowledge-constrained linear model. Our reproduction is additive over
+// chunks (paper Eq. 1): Q = mean_i q_i, with q_i from the shared chunk
+// quality model, plus a startup-delay term, passed through trainable affine
+// calibration (fit by OLS against MOS). Content-position-agnostic by design —
+// this is the property SENSEI's reweighting (Eq. 2) fixes.
+#pragma once
+
+#include "qoe/chunk_quality.h"
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+class KsqiModel : public QoeModel {
+ public:
+  explicit KsqiModel(ChunkQualityParams params = ChunkQualityParams());
+
+  std::string name() const override { return "KSQI"; }
+  double predict(const sim::RenderedVideo& video) const override;
+  void train(const std::vector<sim::RenderedVideo>& videos,
+             const std::vector<double>& mos) override;
+
+  // Mean over the shared per-chunk quality, before affine calibration.
+  double raw_score(const sim::RenderedVideo& video) const;
+
+  const ChunkQualityParams& params() const { return params_; }
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+
+ private:
+  ChunkQualityParams params_;
+  double scale_ = 1.0;
+  double offset_ = 0.0;
+  double startup_weight_ = 0.05;
+};
+
+}  // namespace sensei::qoe

@@ -1,0 +1,42 @@
+// LSTM-QoE-style model (Eswara et al.).
+//
+// The original feeds per-chunk STRRED and quality-incident signals into an
+// LSTM to capture the "memory effect" of past incidents. Our reproduction
+// feeds per-chunk [visual quality, stall penalty, quality switch, motion,
+// complexity] into our own LstmRegressor. Because it sees motion, it can
+// learn the "dynamic scenes matter more" heuristic — which, as the paper
+// shows (§2.3), correlates poorly with true sensitivity (replays and ads are
+// dynamic but insensitive).
+#pragma once
+
+#include "ml/lstm.h"
+#include "qoe/chunk_quality.h"
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+class LstmQoeModel : public QoeModel {
+ public:
+  explicit LstmQoeModel(size_t hidden_dim = 12, int epochs = 60, double lr = 0.01,
+                        uint64_t seed = 26);
+
+  std::string name() const override { return "LSTM-QoE"; }
+  double predict(const sim::RenderedVideo& video) const override;
+  void train(const std::vector<sim::RenderedVideo>& videos,
+             const std::vector<double>& mos) override;
+
+  // Per-chunk feature sequence (exposed for tests).
+  static std::vector<std::vector<double>> features(const sim::RenderedVideo& video);
+
+  bool trained() const { return trained_; }
+
+ private:
+  size_t hidden_dim_;
+  int epochs_;
+  double lr_;
+  uint64_t seed_;
+  ml::LstmRegressor lstm_;
+  bool trained_ = false;
+};
+
+}  // namespace sensei::qoe

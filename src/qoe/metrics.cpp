@@ -1,0 +1,38 @@
+#include "qoe/metrics.h"
+
+#include "util/stats.h"
+
+namespace sensei::qoe {
+
+ModelAccuracy evaluate_model(const QoeModel& model,
+                             const std::vector<sim::RenderedVideo>& videos,
+                             const std::vector<double>& truth) {
+  ModelAccuracy acc;
+  acc.model_name = model.name();
+  std::vector<double> pred = model.predict_all(videos);
+  acc.mean_relative_error = util::mean_relative_error(pred, truth);
+  acc.plcc = util::pearson(pred, truth);
+  acc.srcc = util::spearman(pred, truth);
+  acc.rmse = util::rmse(pred, truth);
+  return acc;
+}
+
+double discordant_pair_fraction(const std::vector<AbrRankingCell>& cells) {
+  size_t discordant = 0, comparable = 0;
+  for (const auto& cell : cells) {
+    const auto& t = cell.true_qoe;
+    const auto& p = cell.predicted_qoe;
+    if (t.size() != p.size()) continue;
+    for (size_t i = 0; i < t.size(); ++i) {
+      for (size_t j = i + 1; j < t.size(); ++j) {
+        double dt = t[i] - t[j], dp = p[i] - p[j];
+        if (dt == 0.0 || dp == 0.0) continue;
+        ++comparable;
+        if ((dt > 0) != (dp > 0)) ++discordant;
+      }
+    }
+  }
+  return comparable ? static_cast<double>(discordant) / static_cast<double>(comparable) : 0.0;
+}
+
+}  // namespace sensei::qoe

@@ -1,0 +1,37 @@
+// Evaluation metrics for QoE models: prediction accuracy (relative error,
+// PLCC, SRCC, RMSE) and the discordant-pair rate for ABR ranking (Figure 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+struct ModelAccuracy {
+  std::string model_name;
+  double mean_relative_error = 0.0;
+  double plcc = 0.0;
+  double srcc = 0.0;
+  double rmse = 0.0;
+};
+
+// Evaluates a model's predictions against ground-truth MOS on a test set.
+ModelAccuracy evaluate_model(const QoeModel& model,
+                             const std::vector<sim::RenderedVideo>& videos,
+                             const std::vector<double>& truth);
+
+// One (source video, trace) cell of the §2.2 ranking study: the true and
+// predicted QoE of each ABR algorithm streamed under identical conditions.
+struct AbrRankingCell {
+  std::vector<double> true_qoe;       // per ABR algorithm
+  std::vector<double> predicted_qoe;  // per ABR algorithm (same order)
+};
+
+// Fraction of discordant ABR pairs across all cells: for each cell, every
+// unordered pair of ABRs whose true ordering differs from the predicted
+// ordering counts as discordant (ties skipped), as in Figure 2's y-axis.
+double discordant_pair_fraction(const std::vector<AbrRankingCell>& cells);
+
+}  // namespace sensei::qoe

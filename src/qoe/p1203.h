@@ -1,0 +1,33 @@
+// P.1203-style QoE model (Robitza et al., ITU-T P.1203 candidate).
+//
+// The original feeds codec-level features (QP) and quality-incident metrics
+// into a random forest. We reproduce the model class: a bagged regression
+// forest over session summary features. Like the original, it has no notion
+// of *where* in the content an incident lands.
+#pragma once
+
+#include "ml/forest.h"
+#include "qoe/chunk_quality.h"
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+class P1203Model : public QoeModel {
+ public:
+  explicit P1203Model(ml::ForestConfig config = ml::ForestConfig(), uint64_t seed = 1203);
+
+  std::string name() const override { return "P.1203"; }
+  double predict(const sim::RenderedVideo& video) const override;
+  void train(const std::vector<sim::RenderedVideo>& videos,
+             const std::vector<double>& mos) override;
+
+  // Session summary feature vector (exposed for tests).
+  static std::vector<double> features(const sim::RenderedVideo& video);
+
+ private:
+  ml::RandomForest forest_;
+  uint64_t seed_;
+  double fallback_ = 0.6;  // prediction before training
+};
+
+}  // namespace sensei::qoe

@@ -1,0 +1,12 @@
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+std::vector<double> QoeModel::predict_all(const std::vector<sim::RenderedVideo>& videos) const {
+  std::vector<double> out;
+  out.reserve(videos.size());
+  for (const auto& v : videos) out.push_back(predict(v));
+  return out;
+}
+
+}  // namespace sensei::qoe

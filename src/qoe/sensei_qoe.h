@@ -1,0 +1,44 @@
+// SENSEI's QoE model: an existing additive model reweighted by per-chunk
+// sensitivity (paper Eq. 2):
+//
+//   Q = sum_i w_i * q_i / sum_i w_i
+//
+// where q_i comes from the shared chunk-quality model (the same one KSQI
+// uses) and w_i is the inferred sensitivity weight of chunk i. The weight
+// vector is produced by the crowdsourcing pipeline (src/crowd) and is
+// normalized to mean 1, so an all-ones vector makes this coincide with KSQI.
+#pragma once
+
+#include <vector>
+
+#include "qoe/chunk_quality.h"
+#include "qoe/qoe_model.h"
+
+namespace sensei::qoe {
+
+class SenseiQoeModel : public QoeModel {
+ public:
+  SenseiQoeModel(std::vector<double> weights,
+                 ChunkQualityParams params = ChunkQualityParams());
+
+  std::string name() const override { return "SENSEI"; }
+  double predict(const sim::RenderedVideo& video) const override;
+
+  // Affine calibration against MOS, like the other trainable models.
+  void train(const std::vector<sim::RenderedVideo>& videos,
+             const std::vector<double>& mos) override;
+
+  // Weighted mean of per-chunk qualities before affine calibration.
+  double raw_score(const sim::RenderedVideo& video) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  ChunkQualityParams params_;
+  double scale_ = 1.0;
+  double offset_ = 0.0;
+  double startup_weight_ = 0.05;
+};
+
+}  // namespace sensei::qoe

@@ -1,0 +1,150 @@
+#include "sim/manifest.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sensei::sim {
+
+namespace {
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string unescape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    if (s[i] != '&') {
+      out += s[i++];
+      continue;
+    }
+    if (s.compare(i, 4, "&lt;") == 0) { out += '<'; i += 4; }
+    else if (s.compare(i, 4, "&gt;") == 0) { out += '>'; i += 4; }
+    else if (s.compare(i, 5, "&amp;") == 0) { out += '&'; i += 5; }
+    else if (s.compare(i, 6, "&quot;") == 0) { out += '"'; i += 6; }
+    else { out += s[i++]; }
+  }
+  return out;
+}
+
+// Extracts the text between the first occurrence of `open` and the following
+// `close`; returns false if either is missing.
+bool extract_between(const std::string& doc, const std::string& open, const std::string& close,
+                     std::string* out, size_t from = 0) {
+  size_t a = doc.find(open, from);
+  if (a == std::string::npos) return false;
+  a += open.size();
+  size_t b = doc.find(close, a);
+  if (b == std::string::npos) return false;
+  *out = doc.substr(a, b - a);
+  return true;
+}
+
+// Extracts the value of attribute `attr` in the first occurrence of tag
+// `tag`; returns false if missing.
+bool extract_attr(const std::string& doc, const std::string& tag, const std::string& attr,
+                  std::string* out, size_t from = 0) {
+  size_t t = doc.find("<" + tag, from);
+  if (t == std::string::npos) return false;
+  size_t end = doc.find('>', t);
+  if (end == std::string::npos) return false;
+  std::string element = doc.substr(t, end - t);
+  size_t a = element.find(attr + "=\"");
+  if (a == std::string::npos) return false;
+  a += attr.size() + 2;
+  size_t b = element.find('"', a);
+  if (b == std::string::npos) return false;
+  *out = element.substr(a, b - a);
+  return true;
+}
+
+std::vector<double> parse_number_list(const std::string& text) {
+  std::vector<double> values;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    values.push_back(std::stod(token));
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string Manifest::to_xml() const {
+  std::ostringstream os;
+  os.precision(17);  // weights must survive the round trip losslessly
+  os << "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  os << "<MPD type=\"static\" mediaPresentationDuration=\"PT"
+     << chunk_duration_s * static_cast<double>(num_chunks) << "S\">\n";
+  os << "  <Period>\n";
+  os << "    <AdaptationSet contentType=\"video\" name=\"" << escape_xml(video_name)
+     << "\" chunkDuration=\"" << chunk_duration_s << "\" numChunks=\"" << num_chunks
+     << "\">\n";
+  for (double b : bitrates_kbps) {
+    os << "      <Representation bandwidth=\"" << static_cast<long long>(b * 1000.0)
+       << "\"/>\n";
+  }
+  if (!weights.empty()) {
+    // The SENSEI extension: one weight per chunk, space separated.
+    os << "      <SenseiWeights count=\"" << weights.size() << "\">";
+    for (size_t i = 0; i < weights.size(); ++i) {
+      os << (i ? " " : "") << weights[i];
+    }
+    os << "</SenseiWeights>\n";
+  }
+  os << "    </AdaptationSet>\n";
+  os << "  </Period>\n";
+  os << "</MPD>\n";
+  return os.str();
+}
+
+Manifest Manifest::from_xml(const std::string& xml) {
+  Manifest m;
+  std::string value;
+  if (!extract_attr(xml, "AdaptationSet", "name", &value))
+    throw std::runtime_error("manifest: missing AdaptationSet name");
+  m.video_name = unescape_xml(value);
+  if (!extract_attr(xml, "AdaptationSet", "chunkDuration", &value))
+    throw std::runtime_error("manifest: missing chunkDuration");
+  m.chunk_duration_s = std::stod(value);
+  if (!extract_attr(xml, "AdaptationSet", "numChunks", &value))
+    throw std::runtime_error("manifest: missing numChunks");
+  m.num_chunks = static_cast<size_t>(std::stoul(value));
+
+  size_t pos = 0;
+  while (true) {
+    size_t t = xml.find("<Representation", pos);
+    if (t == std::string::npos) break;
+    std::string bw;
+    if (!extract_attr(xml, "Representation", "bandwidth", &bw, t))
+      throw std::runtime_error("manifest: representation without bandwidth");
+    m.bitrates_kbps.push_back(std::stod(bw) / 1000.0);
+    pos = t + 1;
+  }
+  if (m.bitrates_kbps.empty()) throw std::runtime_error("manifest: no representations");
+
+  std::string weights_text;
+  if (extract_between(xml, ">", "</SenseiWeights>", &weights_text,
+                      xml.find("<SenseiWeights") != std::string::npos
+                          ? xml.find("<SenseiWeights")
+                          : std::string::npos)) {
+    m.weights = parse_number_list(weights_text);
+    if (m.weights.size() != m.num_chunks)
+      throw std::runtime_error("manifest: weight count mismatch");
+  }
+  return m;
+}
+
+}  // namespace sensei::sim

@@ -1,0 +1,34 @@
+// Sensitivity-augmented DASH manifest.
+//
+// The paper (§6) distributes per-chunk sensitivity weights by adding an XML
+// field under <Representation> in the DASH MPD and teaching the player's
+// manifest parser to read it. We reproduce that protocol surface: an
+// MPD-shaped XML document carrying the bitrate ladder, chunk duration and a
+// <SenseiWeights> element, with a writer and a tolerant parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/ladder.h"
+
+namespace sensei::sim {
+
+struct Manifest {
+  std::string video_name;
+  double chunk_duration_s = 4.0;
+  size_t num_chunks = 0;
+  std::vector<double> bitrates_kbps;   // the representation ladder
+  std::vector<double> weights;         // per-chunk sensitivity (empty = none)
+
+  // Serializes to MPD-like XML.
+  std::string to_xml() const;
+
+  // Parses a document produced by to_xml (tolerant of whitespace).
+  // Throws std::runtime_error on malformed input.
+  static Manifest from_xml(const std::string& xml);
+
+  media::BitrateLadder ladder() const { return media::BitrateLadder(bitrates_kbps); }
+};
+
+}  // namespace sensei::sim

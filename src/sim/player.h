@@ -1,0 +1,76 @@
+// DASH-like player simulator.
+//
+// Event model (standard in ABR simulators such as Pensieve's): chunks are
+// downloaded sequentially; while a chunk downloads, the playout buffer drains
+// in real time. If it empties, playback stalls (rebuffering). The buffer is
+// capped; the player idles when full.
+//
+// SENSEI's §5 extension is supported natively: a decision may carry a
+// *scheduled rebuffering* time. Playback is paused for that long while
+// downloads continue — in buffer terms, the buffer level is credited by the
+// pause length and the pause is charged to the next chunk's stall time
+// (exactly how SENSEI-Pensieve's "increment the buffer state" is described).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "media/encoder.h"
+#include "net/trace.h"
+#include "sim/session.h"
+
+namespace sensei::sim {
+
+// What an ABR algorithm sees before choosing the next chunk's rendition.
+struct AbrObservation {
+  size_t next_chunk = 0;
+  size_t num_chunks = 0;
+  double buffer_s = 0.0;
+  size_t last_level = 0;
+  double last_throughput_kbps = 0.0;          // measured over the last download
+  double last_download_time_s = 0.0;
+  std::vector<double> throughput_history_kbps;  // most recent last
+  const media::EncodedVideo* video = nullptr;
+  // Sensitivity weights for chunks [next_chunk, next_chunk + h); empty when
+  // the manifest carries none (weight-unaware ABRs simply ignore it).
+  std::vector<double> future_weights;
+};
+
+struct AbrDecision {
+  size_t level = 0;
+  // Deliberate playback pause (seconds) taken before this chunk plays.
+  double scheduled_rebuffer_s = 0.0;
+};
+
+class AbrPolicy {
+ public:
+  virtual ~AbrPolicy() = default;
+  virtual const char* name() const = 0;
+  // Called once per session before the first decision.
+  virtual void begin_session(const media::EncodedVideo& video) { (void)video; }
+  virtual AbrDecision decide(const AbrObservation& obs) = 0;
+};
+
+struct PlayerConfig {
+  double max_buffer_s = 30.0;
+  double rtt_s = 0.08;
+  size_t throughput_history_len = 8;
+  // Sensitivity look-ahead horizon handed to the ABR (paper picks h = 5).
+  size_t weight_horizon = 5;
+};
+
+class Player {
+ public:
+  explicit Player(PlayerConfig config = PlayerConfig());
+
+  // Streams `video` over `trace` under `policy`. `weights` (optional) is the
+  // per-chunk sensitivity vector distributed via the manifest; slices of it
+  // are exposed to the policy each decision.
+  SessionResult stream(const media::EncodedVideo& video, const net::ThroughputTrace& trace,
+                       AbrPolicy& policy, const std::vector<double>& weights = {}) const;
+
+ private:
+  PlayerConfig config_;
+};
+
+}  // namespace sensei::sim

@@ -1,0 +1,115 @@
+#include "sim/render.h"
+
+#include <stdexcept>
+
+namespace sensei::sim {
+
+RenderedVideo::RenderedVideo(std::string name, double chunk_duration_s,
+                             std::vector<RenderedChunk> chunks,
+                             std::vector<media::ChunkContent> content, double startup_delay_s)
+    : name_(std::move(name)),
+      chunk_duration_s_(chunk_duration_s),
+      chunks_(std::move(chunks)),
+      content_(std::move(content)),
+      startup_delay_s_(startup_delay_s) {
+  if (chunks_.size() != content_.size())
+    throw std::runtime_error("rendered video: chunk/content size mismatch");
+}
+
+RenderedVideo RenderedVideo::pristine(const media::EncodedVideo& video, const std::string& name) {
+  const size_t top = video.ladder().level_count() - 1;
+  std::vector<RenderedChunk> chunks;
+  chunks.reserve(video.num_chunks());
+  for (size_t i = 0; i < video.num_chunks(); ++i) {
+    const auto& rep = video.rep(i, top);
+    chunks.push_back({top, rep.bitrate_kbps, rep.visual_quality, 0.0});
+  }
+  return RenderedVideo(name.empty() ? video.source().name() + "-pristine" : name,
+                       video.chunk_duration_s(), std::move(chunks),
+                       video.source().chunks(), 0.0);
+}
+
+RenderedVideo RenderedVideo::with_rebuffering(size_t chunk, double seconds) const {
+  RenderedVideo out = *this;
+  out.chunks_.at(chunk).rebuffer_s += seconds;
+  out.name_ = name_ + "+rebuf" + std::to_string(static_cast<int>(seconds)) + "s@" +
+              std::to_string(chunk);
+  return out;
+}
+
+RenderedVideo RenderedVideo::with_bitrate_drop(size_t first_chunk, size_t num_chunks,
+                                               size_t level,
+                                               const media::EncodedVideo& video) const {
+  RenderedVideo out = *this;
+  for (size_t i = first_chunk; i < first_chunk + num_chunks && i < out.chunks_.size(); ++i) {
+    const auto& rep = video.rep(i, level);
+    out.chunks_[i].level = level;
+    out.chunks_[i].bitrate_kbps = rep.bitrate_kbps;
+    out.chunks_[i].visual_quality = rep.visual_quality;
+  }
+  out.name_ = name_ + "+drop@" + std::to_string(first_chunk);
+  return out;
+}
+
+RenderedVideo RenderedVideo::with_startup_delay(double seconds) const {
+  RenderedVideo out = *this;
+  out.startup_delay_s_ = seconds;
+  return out;
+}
+
+double RenderedVideo::total_rebuffer_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.rebuffer_s;
+  return total;
+}
+
+double RenderedVideo::playback_duration_s() const {
+  return chunk_duration_s_ * static_cast<double>(chunks_.size());
+}
+
+double RenderedVideo::mean_bitrate_kbps() const {
+  if (chunks_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.bitrate_kbps;
+  return total / static_cast<double>(chunks_.size());
+}
+
+size_t RenderedVideo::switch_count() const {
+  size_t n = 0;
+  for (size_t i = 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].level != chunks_[i - 1].level) ++n;
+  }
+  return n;
+}
+
+double RenderedVideo::total_quality_switch_magnitude() const {
+  double total = 0.0;
+  for (size_t i = 1; i < chunks_.size(); ++i) {
+    double d = chunks_[i].visual_quality - chunks_[i - 1].visual_quality;
+    total += d < 0 ? -d : d;
+  }
+  return total;
+}
+
+std::vector<RenderedVideo> rebuffer_series(const media::EncodedVideo& video, double seconds) {
+  RenderedVideo base = RenderedVideo::pristine(video);
+  std::vector<RenderedVideo> series;
+  series.reserve(video.num_chunks());
+  for (size_t i = 0; i < video.num_chunks(); ++i) {
+    series.push_back(base.with_rebuffering(i, seconds));
+  }
+  return series;
+}
+
+std::vector<RenderedVideo> bitrate_drop_series(const media::EncodedVideo& video,
+                                               size_t drop_level, size_t drop_chunks) {
+  RenderedVideo base = RenderedVideo::pristine(video);
+  std::vector<RenderedVideo> series;
+  series.reserve(video.num_chunks());
+  for (size_t i = 0; i < video.num_chunks(); ++i) {
+    series.push_back(base.with_bitrate_drop(i, drop_chunks, drop_level, video));
+  }
+  return series;
+}
+
+}  // namespace sensei::sim

@@ -1,0 +1,68 @@
+#include "sim/session.h"
+
+namespace sensei::sim {
+
+SessionResult::SessionResult(std::string video_name, std::string trace_name,
+                             double chunk_duration_s, std::vector<ChunkRecord> chunks,
+                             double startup_delay_s)
+    : video_name_(std::move(video_name)),
+      trace_name_(std::move(trace_name)),
+      chunk_duration_s_(chunk_duration_s),
+      chunks_(std::move(chunks)),
+      startup_delay_s_(startup_delay_s) {}
+
+double SessionResult::total_rebuffer_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.rebuffer_s;
+  return total;
+}
+
+double SessionResult::rebuffer_ratio() const {
+  double playback = chunk_duration_s_ * static_cast<double>(chunks_.size());
+  double stall = total_rebuffer_s();
+  double denom = playback + stall;
+  return denom > 0.0 ? stall / denom : 0.0;
+}
+
+double SessionResult::mean_bitrate_kbps() const {
+  if (chunks_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.bitrate_kbps;
+  return total / static_cast<double>(chunks_.size());
+}
+
+size_t SessionResult::switch_count() const {
+  size_t n = 0;
+  for (size_t i = 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].level != chunks_[i - 1].level) ++n;
+  }
+  return n;
+}
+
+double SessionResult::total_bytes() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.size_bytes;
+  return total;
+}
+
+double SessionResult::mean_visual_quality() const {
+  if (chunks_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.visual_quality;
+  return total / static_cast<double>(chunks_.size());
+}
+
+RenderedVideo SessionResult::to_rendered(const media::EncodedVideo& video) const {
+  std::vector<RenderedChunk> rendered;
+  rendered.reserve(chunks_.size());
+  for (const auto& c : chunks_) {
+    rendered.push_back({c.level, c.bitrate_kbps, c.visual_quality, c.rebuffer_s});
+  }
+  std::vector<media::ChunkContent> content(video.source().chunks().begin(),
+                                           video.source().chunks().begin() +
+                                               static_cast<long>(chunks_.size()));
+  return RenderedVideo(video_name_ + "@" + trace_name_, chunk_duration_s_, std::move(rendered),
+                       std::move(content), startup_delay_s_);
+}
+
+}  // namespace sensei::sim

@@ -1,0 +1,56 @@
+// Streaming-session records produced by the player simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/encoder.h"
+#include "sim/render.h"
+
+namespace sensei::sim {
+
+struct ChunkRecord {
+  size_t index = 0;
+  size_t level = 0;
+  double bitrate_kbps = 0.0;
+  double size_bytes = 0.0;
+  double download_start_s = 0.0;   // wall clock when the download began
+  double download_time_s = 0.0;    // includes RTT
+  double rebuffer_s = 0.0;         // total stall before this chunk plays
+  double scheduled_rebuffer_s = 0.0;  // portion deliberately initiated by ABR
+  double buffer_after_s = 0.0;     // buffer level right after the chunk arrives
+  double visual_quality = 0.0;
+};
+
+class SessionResult {
+ public:
+  SessionResult() = default;
+  SessionResult(std::string video_name, std::string trace_name, double chunk_duration_s,
+                std::vector<ChunkRecord> chunks, double startup_delay_s);
+
+  const std::string& video_name() const { return video_name_; }
+  const std::string& trace_name() const { return trace_name_; }
+  const std::vector<ChunkRecord>& chunks() const { return chunks_; }
+  double startup_delay_s() const { return startup_delay_s_; }
+  double chunk_duration_s() const { return chunk_duration_s_; }
+
+  double total_rebuffer_s() const;
+  double rebuffer_ratio() const;  // stall time / (stall + playback)
+  double mean_bitrate_kbps() const;
+  size_t switch_count() const;
+  double total_bytes() const;
+  double mean_visual_quality() const;
+
+  // Converts the session into the rendered video the viewer saw, for rating
+  // by the ground-truth oracle / QoE models.
+  RenderedVideo to_rendered(const media::EncodedVideo& video) const;
+
+ private:
+  std::string video_name_;
+  std::string trace_name_;
+  double chunk_duration_s_ = 4.0;
+  std::vector<ChunkRecord> chunks_;
+  double startup_delay_s_ = 0.0;
+};
+
+}  // namespace sensei::sim

@@ -1,0 +1,78 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensei::util {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::runtime_error("matrix dims mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = at(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) out.at(r, c) += a * other.at(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  if (cols_ != v.size()) throw std::runtime_error("matrix-vector dims mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::solve(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::runtime_error("solve: dims mismatch");
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) throw std::runtime_error("solve: singular matrix");
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a.at(r, col) / a.at(col, col);
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace sensei::util

@@ -1,0 +1,39 @@
+// Small dense matrix used by the regression and ML substrates.
+// Row-major storage; only the operations the project needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sensei::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  static Matrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& other) const;
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  // Solves A x = b via Gaussian elimination with partial pivoting.
+  // Throws std::runtime_error on a (numerically) singular system.
+  static std::vector<double> solve(Matrix a, std::vector<double> b);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sensei::util

@@ -1,0 +1,77 @@
+#include "util/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sensei::util {
+
+RegressionResult fit_least_squares(const Matrix& x, const std::vector<double>& y,
+                                   double ridge_lambda) {
+  if (x.rows() != y.size()) throw std::runtime_error("regression: rows != y size");
+  if (x.rows() == 0 || x.cols() == 0) return {};
+  Matrix xt = x.transpose();
+  Matrix xtx = xt.multiply(x);
+  for (size_t i = 0; i < xtx.rows(); ++i) xtx.at(i, i) += ridge_lambda;
+  std::vector<double> xty = xt.multiply(y);
+  RegressionResult result;
+  result.coefficients = Matrix::solve(xtx, xty);
+
+  std::vector<double> pred = x.multiply(result.coefficients);
+  double ss_res = 0.0, ss_tot = 0.0;
+  double ym = mean(y);
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+    ss_tot += (y[i] - ym) * (y[i] - ym);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return result;
+}
+
+RegressionResult fit_least_squares(const std::vector<std::vector<double>>& rows,
+                                   const std::vector<double>& y, double ridge_lambda) {
+  if (rows.empty()) return {};
+  Matrix x(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) throw std::runtime_error("regression: ragged rows");
+    for (size_t c = 0; c < rows[r].size(); ++c) x.at(r, c) = rows[r][c];
+  }
+  return fit_least_squares(x, y, ridge_lambda);
+}
+
+std::vector<double> fit_nonnegative_least_squares(const std::vector<std::vector<double>>& rows,
+                                                  const std::vector<double>& y,
+                                                  double ridge_lambda, int iterations) {
+  if (rows.empty() || rows[0].empty()) return {};
+  const size_t n = rows.size();
+  const size_t d = rows[0].size();
+
+  // Precompute Gram matrix G = X^T X + lambda I and c = X^T y.
+  std::vector<std::vector<double>> g(d, std::vector<double>(d, 0.0));
+  std::vector<double> c(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < d; ++a) {
+      c[a] += rows[i][a] * y[i];
+      for (size_t b = 0; b < d; ++b) g[a][b] += rows[i][a] * rows[i][b];
+    }
+  }
+  for (size_t a = 0; a < d; ++a) g[a][a] += ridge_lambda;
+
+  // Coordinate descent with projection onto [0, inf).
+  std::vector<double> w(d, 0.5);
+  for (int it = 0; it < iterations; ++it) {
+    for (size_t a = 0; a < d; ++a) {
+      if (g[a][a] <= 0.0) continue;
+      double grad = c[a];
+      for (size_t b = 0; b < d; ++b) {
+        if (b != a) grad -= g[a][b] * w[b];
+      }
+      w[a] = std::max(0.0, grad / g[a][a]);
+    }
+  }
+  return w;
+}
+
+}  // namespace sensei::util

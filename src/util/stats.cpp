@@ -1,0 +1,161 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sensei::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double pos = clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Average rank for the tie group [i, j] (1-based ranks).
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return pearson(ranks(x), ranks(y));
+}
+
+double discordant_fraction(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  size_t discordant = 0, comparable = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = i + 1; j < x.size(); ++j) {
+      double dx = x[i] - x[j], dy = y[i] - y[j];
+      if (dx == 0.0 || dy == 0.0) continue;
+      ++comparable;
+      if ((dx > 0) != (dy > 0)) ++discordant;
+    }
+  }
+  if (comparable == 0) return 0.0;
+  return static_cast<double>(discordant) / static_cast<double>(comparable);
+}
+
+double mean_relative_error(const std::vector<double>& pred, const std::vector<double>& truth) {
+  if (pred.size() != truth.size() || pred.empty()) return 0.0;
+  constexpr double kEps = 1e-9;
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (std::abs(truth[i]) <= kEps) continue;
+    acc += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  if (pred.size() != truth.size() || pred.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pred[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    cdf.emplace_back(v[i], static_cast<double>(i + 1) / static_cast<double>(v.size()));
+  }
+  return cdf;
+}
+
+std::vector<double> normalize01(const std::vector<double>& v) {
+  if (v.empty()) return {};
+  double lo = min_of(v), hi = max_of(v);
+  std::vector<double> out(v.size());
+  if (hi - lo <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return out;
+  }
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - lo) / (hi - lo);
+  return out;
+}
+
+double clamp(double x, double lo, double hi) { return std::min(hi, std::max(lo, x)); }
+
+void Accumulator::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace sensei::util

@@ -1,0 +1,68 @@
+// Descriptive statistics and correlation/rank metrics used throughout the
+// evaluation harness: PLCC (Pearson), SRCC (Spearman), discordant-pair
+// fraction, percentiles and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sensei::util {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // population variance
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+double sum(const std::vector<double>& v);
+
+// Linear-interpolated percentile, p in [0,100]. Empty input -> 0.
+double percentile(std::vector<double> v, double p);
+double median(std::vector<double> v);
+
+// Pearson linear correlation coefficient. Returns 0 when either input is
+// degenerate (zero variance) or sizes mismatch.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+// Spearman rank correlation: Pearson over fractional (tie-averaged) ranks.
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+// Fractional ranks (1-based, ties share the average rank).
+std::vector<double> ranks(const std::vector<double>& v);
+
+// Fraction of pairs (i, j) whose order differs between x and y.
+// Ties in either vector are skipped (neither concordant nor discordant).
+double discordant_fraction(const std::vector<double>& x, const std::vector<double>& y);
+
+// Mean of |pred - truth| / |truth| over entries with |truth| > eps.
+double mean_relative_error(const std::vector<double>& pred, const std::vector<double>& truth);
+
+// Root-mean-square error.
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+
+// Empirical CDF evaluated at the sorted sample points.
+// Returns (value, cumulative fraction) pairs suitable for plotting.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> v);
+
+// Min-max normalization into [0,1]; constant input maps to all 0.5.
+std::vector<double> normalize01(const std::vector<double>& v);
+
+// Clamps x into [lo, hi].
+double clamp(double x, double lo, double hi);
+
+// Simple online accumulator for mean/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sensei::util

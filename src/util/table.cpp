@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sensei::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(format_double(v, precision));
+  add_row(std::move(out));
+}
+
+std::string Table::format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      os << (c + 1 < headers_.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < headers_.size(); ++c)
+    os << escape(headers_[c]) << (c + 1 < headers_.size() ? "," : "");
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < headers_.size(); ++c)
+      os << (c < row.size() ? escape(row[c]) : "") << (c + 1 < headers_.size() ? "," : "");
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  return "== " + title + " ==\n";
+}
+
+}  // namespace sensei::util

@@ -1,0 +1,36 @@
+// Plain-text table and CSV emitters used by the bench binaries to print the
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sensei::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Renders an aligned ASCII table.
+  std::string to_string() const;
+  // Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  static std::string format_double(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a one-line section banner, used to delimit figure panels in bench
+// stdout (e.g. "== Figure 12a: CDF of QoE gains over BBA ==").
+std::string banner(const std::string& title);
+
+}  // namespace sensei::util

@@ -1,0 +1,134 @@
+#include "media/content.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/stats.h"
+
+namespace sensei::media {
+namespace {
+
+TEST(Content, DeterministicPerName) {
+  auto a = generate_content("VideoX", Genre::kSports, 40);
+  auto b = generate_content("VideoX", Genre::kSports, 40);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_DOUBLE_EQ(a[i].sensitivity, b[i].sensitivity);
+    EXPECT_DOUBLE_EQ(a[i].motion, b[i].motion);
+  }
+}
+
+TEST(Content, DifferentNamesDiffer) {
+  auto a = generate_content("VideoA", Genre::kSports, 60);
+  auto b = generate_content("VideoB", Genre::kSports, 60);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind == b[i].kind && a[i].sensitivity == b[i].sensitivity) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Content, RequestedChunkCount) {
+  for (size_t n : {1u, 5u, 55u, 149u}) {
+    EXPECT_EQ(generate_content("V", Genre::kNature, n).size(), n);
+  }
+}
+
+TEST(Content, SensitivityWithinKindRange) {
+  auto chunks = generate_content("RangeCheck", Genre::kGaming, 200);
+  for (const auto& c : chunks) {
+    SensitivityRange r = sensitivity_range(c.kind);
+    EXPECT_GE(c.sensitivity, r.lo - 1e-9);
+    EXPECT_LE(c.sensitivity, r.hi + 1e-9);
+  }
+}
+
+TEST(Content, FeatureBoundsHold) {
+  auto chunks = generate_content("Bounds", Genre::kAnimation, 300);
+  for (const auto& c : chunks) {
+    EXPECT_GT(c.motion, 0.0);
+    EXPECT_LE(c.motion, 1.0);
+    EXPECT_GT(c.complexity, 0.0);
+    EXPECT_LE(c.complexity, 1.0);
+    EXPECT_GT(c.objectness, 0.0);
+    EXPECT_LE(c.objectness, 1.0);
+    EXPECT_GT(c.sensitivity, 0.0);
+    EXPECT_LE(c.sensitivity, 1.0);
+  }
+}
+
+TEST(Content, KeyMomentsAreMostSensitive) {
+  EXPECT_GT(sensitivity_range(SceneKind::kKeyMoment).lo,
+            sensitivity_range(SceneKind::kNormal).hi);
+  EXPECT_GT(sensitivity_range(SceneKind::kInfoMoment).lo,
+            sensitivity_range(SceneKind::kReplay).hi);
+  EXPECT_GT(sensitivity_range(SceneKind::kReplay).hi,
+            sensitivity_range(SceneKind::kTransitional).hi - 1e-9);
+}
+
+// The paper's central observation (§2.3): "dynamicness" is a poor proxy for
+// sensitivity. Replays are high-motion yet low-sensitivity; info moments
+// (scoreboards) are low-motion yet high-sensitivity.
+TEST(Content, MotionSensitivityMismatchExists) {
+  auto chunks = generate_content("Mismatch", Genre::kSports, 400);
+  double replay_motion = 0.0, info_motion = 0.0;
+  double replay_sens = 0.0, info_sens = 0.0;
+  int replays = 0, infos = 0;
+  for (const auto& c : chunks) {
+    if (c.kind == SceneKind::kReplay) {
+      replay_motion += c.motion;
+      replay_sens += c.sensitivity;
+      ++replays;
+    } else if (c.kind == SceneKind::kInfoMoment) {
+      info_motion += c.motion;
+      info_sens += c.sensitivity;
+      ++infos;
+    }
+  }
+  ASSERT_GT(replays, 5);
+  ASSERT_GT(infos, 5);
+  // Replays: more motion, less sensitivity than info moments.
+  EXPECT_GT(replay_motion / replays, info_motion / infos);
+  EXPECT_LT(replay_sens / replays, info_sens / infos);
+}
+
+TEST(Content, NatureIsMostlyTransitional) {
+  auto chunks = generate_content("Scenic", Genre::kNature, 400);
+  std::map<SceneKind, int> counts;
+  for (const auto& c : chunks) ++counts[c.kind];
+  EXPECT_GT(counts[SceneKind::kTransitional], counts[SceneKind::kKeyMoment]);
+}
+
+TEST(Content, SportsContainKeyMoments) {
+  auto chunks = generate_content("Match", Genre::kSports, 400);
+  int keys = 0;
+  for (const auto& c : chunks) keys += c.kind == SceneKind::kKeyMoment ? 1 : 0;
+  EXPECT_GT(keys, 10);
+}
+
+TEST(Content, ToStringCoverage) {
+  EXPECT_EQ(to_string(Genre::kSports), "Sports");
+  EXPECT_EQ(to_string(Genre::kAnimation), "Animation");
+  EXPECT_EQ(to_string(SceneKind::kKeyMoment), "key-moment");
+  EXPECT_EQ(to_string(SceneKind::kReplay), "replay");
+}
+
+// Sensitivity dispersion exists in every genre — the premise of the paper.
+class ContentGenreSweep : public ::testing::TestWithParam<Genre> {};
+
+TEST_P(ContentGenreSweep, SensitivityVariesWithinVideo) {
+  auto chunks = generate_content("Sweep", GetParam(), 100);
+  std::vector<double> s;
+  for (const auto& c : chunks) s.push_back(c.sensitivity);
+  EXPECT_GT(util::stddev(s), 0.08);
+  EXPECT_GT(util::max_of(s) - util::min_of(s), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Genres, ContentGenreSweep,
+                         ::testing::Values(Genre::kSports, Genre::kGaming, Genre::kNature,
+                                           Genre::kAnimation));
+
+}  // namespace
+}  // namespace sensei::media

@@ -1,0 +1,89 @@
+#include "cv/cv_models.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+#include "util/stats.h"
+
+namespace sensei::cv {
+namespace {
+
+class CvModelsTest : public ::testing::Test {
+ protected:
+  media::SourceVideo video_ =
+      media::SourceVideo::generate("CvTest", media::Genre::kSports, 400);
+};
+
+TEST_F(CvModelsTest, ScoresAreNormalized) {
+  for (const auto& result : run_all(video_)) {
+    ASSERT_EQ(result.scores.size(), video_.num_chunks()) << result.model;
+    EXPECT_NEAR(util::min_of(result.scores), 0.0, 1e-9) << result.model;
+    EXPECT_NEAR(util::max_of(result.scores), 1.0, 1e-9) << result.model;
+  }
+}
+
+TEST_F(CvModelsTest, RunAllReturnsThreeModels) {
+  auto results = run_all(video_);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].model, "AMVM");
+  EXPECT_EQ(results[1].model, "DSN");
+  EXPECT_EQ(results[2].model, "video2gif");
+}
+
+TEST_F(CvModelsTest, Deterministic) {
+  EXPECT_EQ(amvm_scores(video_), amvm_scores(video_));
+  EXPECT_EQ(dsn_scores(video_), dsn_scores(video_));
+  EXPECT_EQ(video2gif_scores(video_), video2gif_scores(video_));
+}
+
+TEST_F(CvModelsTest, AmvmFollowsMotion) {
+  auto scores = amvm_scores(video_);
+  std::vector<double> motion;
+  for (const auto& c : video_.chunks()) motion.push_back(c.motion);
+  EXPECT_GT(util::pearson(scores, motion), 0.8);
+}
+
+// Appendix D's finding: CV importance does not track true quality
+// sensitivity — replays score high (dynamic) while actually insensitive.
+TEST_F(CvModelsTest, CvScoresMisalignWithTrueSensitivity) {
+  auto s_true = video_.true_sensitivity();
+  for (const auto& result : run_all(video_)) {
+    double corr = util::spearman(result.scores, s_true);
+    EXPECT_LT(corr, 0.55) << result.model << " tracks sensitivity too well";
+  }
+}
+
+TEST_F(CvModelsTest, ReplayChunksScoreHighOnAmvmButAreInsensitive) {
+  auto scores = amvm_scores(video_);
+  double replay_score = 0.0, info_score = 0.0;
+  double replay_sens = 0.0, info_sens = 0.0;
+  int replays = 0, infos = 0;
+  for (size_t i = 0; i < video_.num_chunks(); ++i) {
+    if (video_.chunk(i).kind == media::SceneKind::kReplay) {
+      replay_score += scores[i];
+      replay_sens += video_.chunk(i).sensitivity;
+      ++replays;
+    } else if (video_.chunk(i).kind == media::SceneKind::kInfoMoment) {
+      info_score += scores[i];
+      info_sens += video_.chunk(i).sensitivity;
+      ++infos;
+    }
+  }
+  ASSERT_GT(replays, 0);
+  ASSERT_GT(infos, 0);
+  // AMVM ranks replays above scoreboards; the viewer does the opposite.
+  EXPECT_GT(replay_score / replays, info_score / infos);
+  EXPECT_LT(replay_sens / replays, info_sens / infos);
+}
+
+TEST_F(CvModelsTest, FigureTwentyVideosWork) {
+  for (const char* name : {"Lava", "Tank", "Animal", "Soccer2"}) {
+    auto video = media::Dataset::by_name(name);
+    auto results = run_all(video);
+    EXPECT_EQ(results.size(), 3u);
+    for (const auto& r : results) EXPECT_EQ(r.scores.size(), video.num_chunks());
+  }
+}
+
+}  // namespace
+}  // namespace sensei::cv

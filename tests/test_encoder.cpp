@@ -1,0 +1,81 @@
+#include "media/encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace sensei::media {
+namespace {
+
+class EncoderTest : public ::testing::Test {
+ protected:
+  SourceVideo video_ = SourceVideo::generate("EncTest", Genre::kSports, 80);
+  Encoder encoder_;
+  EncodedVideo encoded_ = encoder_.encode(video_);
+};
+
+TEST_F(EncoderTest, ShapeMatchesSource) {
+  EXPECT_EQ(encoded_.num_chunks(), video_.num_chunks());
+  EXPECT_EQ(encoded_.ladder().level_count(), 5u);
+  EXPECT_DOUBLE_EQ(encoded_.chunk_duration_s(), 4.0);
+}
+
+TEST_F(EncoderTest, VisualQualityIncreasesWithBitrate) {
+  for (size_t i = 0; i < encoded_.num_chunks(); ++i) {
+    for (size_t l = 1; l < 5; ++l) {
+      EXPECT_GT(encoded_.visual_quality(i, l), encoded_.visual_quality(i, l - 1));
+    }
+  }
+}
+
+TEST_F(EncoderTest, SizesIncreaseWithBitrate) {
+  for (size_t i = 0; i < encoded_.num_chunks(); ++i) {
+    for (size_t l = 1; l < 5; ++l) {
+      EXPECT_GT(encoded_.size_bytes(i, l), encoded_.size_bytes(i, l - 1));
+    }
+  }
+}
+
+TEST_F(EncoderTest, SizesAreNearNominalBitrate) {
+  // VBR factor is clamped to [0.6, 1.5] of nominal.
+  for (size_t i = 0; i < encoded_.num_chunks(); ++i) {
+    for (size_t l = 0; l < 5; ++l) {
+      double nominal = encoded_.ladder().kbps(l) * 1000.0 / 8.0 * 4.0;
+      EXPECT_GE(encoded_.size_bytes(i, l), 0.6 * nominal - 1);
+      EXPECT_LE(encoded_.size_bytes(i, l), 1.5 * nominal + 1);
+    }
+  }
+}
+
+TEST_F(EncoderTest, EncodingIsDeterministic) {
+  EncodedVideo again = encoder_.encode(video_);
+  for (size_t i = 0; i < encoded_.num_chunks(); ++i) {
+    EXPECT_DOUBLE_EQ(encoded_.size_bytes(i, 2), again.size_bytes(i, 2));
+    EXPECT_DOUBLE_EQ(encoded_.visual_quality(i, 2), again.visual_quality(i, 2));
+  }
+}
+
+TEST(EncoderCurve, QualityDecreasesWithComplexity) {
+  double easy = Encoder::visual_quality(1200, 0.2);
+  double hard = Encoder::visual_quality(1200, 0.9);
+  EXPECT_GT(easy, hard);
+}
+
+TEST(EncoderCurve, QualitySaturates) {
+  double q1 = Encoder::visual_quality(2850, 0.5);
+  double q2 = Encoder::visual_quality(28500, 0.5);
+  EXPECT_GT(q2, q1);
+  EXPECT_LE(q2, 1.0);
+  EXPECT_LT(q2 - q1, 0.2);  // diminishing returns
+}
+
+TEST(EncoderCurve, QualityBounds) {
+  EXPECT_GE(Encoder::visual_quality(0, 0.5), 0.0);
+  EXPECT_LE(Encoder::visual_quality(1e9, 0.01), 1.0);
+  // The paper's ladder spans a meaningful range at mid complexity.
+  double low = Encoder::visual_quality(300, 0.5);
+  double high = Encoder::visual_quality(2850, 0.5);
+  EXPECT_LT(low, 0.5);
+  EXPECT_GT(high, 0.8);
+}
+
+}  // namespace
+}  // namespace sensei::media

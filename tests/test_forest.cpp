@@ -1,0 +1,117 @@
+#include "ml/forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sensei::ml {
+namespace {
+
+// Synthetic regression task: y = 2*x0 + step(x1).
+std::pair<std::vector<std::vector<double>>, std::vector<double>> make_data(int n,
+                                                                           uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.uniform(0, 1), x1 = rng.uniform(0, 1), x2 = rng.uniform(0, 1);
+    x.push_back({x0, x1, x2});
+    y.push_back(2.0 * x0 + (x1 > 0.5 ? 1.0 : 0.0));
+  }
+  return {x, y};
+}
+
+TEST(Forest, UntrainedPredictsZero) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.trained());
+  EXPECT_DOUBLE_EQ(forest.predict({1, 2, 3}), 0.0);
+}
+
+TEST(Forest, FitsAndBeatsMeanBaseline) {
+  auto [x, y] = make_data(400, 11);
+  util::Rng rng(12);
+  ForestConfig cfg;
+  cfg.num_trees = 40;
+  RandomForest forest(cfg);
+  forest.fit(x, y, rng);
+  EXPECT_TRUE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 40u);
+
+  auto [xt, yt] = make_data(100, 13);
+  double ymean = util::mean(y);
+  double forest_se = 0.0, baseline_se = 0.0;
+  for (size_t i = 0; i < xt.size(); ++i) {
+    double p = forest.predict(xt[i]);
+    forest_se += (p - yt[i]) * (p - yt[i]);
+    baseline_se += (ymean - yt[i]) * (ymean - yt[i]);
+  }
+  EXPECT_LT(forest_se, baseline_se * 0.25);
+}
+
+TEST(Forest, IgnoresIrrelevantFeatureMostly) {
+  auto [x, y] = make_data(400, 14);
+  util::Rng rng(15);
+  RandomForest forest;
+  forest.fit(x, y, rng);
+  // Perturbing the irrelevant x2 should barely change predictions.
+  double diff = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> a = x[static_cast<size_t>(i)];
+    std::vector<double> b = a;
+    b[2] = 1.0 - b[2];
+    diff += std::abs(forest.predict(a) - forest.predict(b));
+  }
+  EXPECT_LT(diff / 50.0, 0.15);
+}
+
+TEST(Forest, RespectsMaxDepth) {
+  auto [x, y] = make_data(200, 16);
+  util::Rng rng(17);
+  ForestConfig cfg;
+  cfg.num_trees = 1;
+  cfg.max_depth = 1;
+  cfg.features_per_split = 3;
+  RegressionTree tree;
+  std::vector<size_t> rows(x.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  tree.fit(x, y, rows, cfg, rng);
+  // Depth-1 tree has at most 3 nodes (root + 2 leaves).
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(Forest, BadDatasetThrows) {
+  RandomForest forest;
+  util::Rng rng(18);
+  EXPECT_THROW(forest.fit({}, {}, rng), std::runtime_error);
+  EXPECT_THROW(forest.fit({{1.0}}, {1.0, 2.0}, rng), std::runtime_error);
+}
+
+TEST(Forest, DeterministicGivenSeed) {
+  auto [x, y] = make_data(150, 19);
+  util::Rng rng1(20), rng2(20);
+  RandomForest f1, f2;
+  f1.fit(x, y, rng1);
+  f2.fit(x, y, rng2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(f1.predict(x[static_cast<size_t>(i)]),
+                     f2.predict(x[static_cast<size_t>(i)]));
+  }
+}
+
+TEST(Forest, ConstantTargetPredictsConstant) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  util::Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    x.push_back({rng.uniform(), rng.uniform()});
+    y.push_back(3.5);
+  }
+  RandomForest forest;
+  forest.fit(x, y, rng);
+  EXPECT_NEAR(forest.predict({0.5, 0.5}), 3.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace sensei::ml

@@ -1,0 +1,119 @@
+#include "abr/fugu.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+
+namespace sensei::abr {
+namespace {
+
+class FuguTest : public ::testing::Test {
+ protected:
+  media::EncodedVideo video_ = media::Encoder().encode(
+      media::SourceVideo::generate("FuguTest", media::Genre::kSports, 120));
+  sim::Player player_;
+};
+
+TEST_F(FuguTest, AdaptsToLinkSpeed) {
+  FuguAbr fugu;
+  auto fast = net::ThroughputTrace("fast", std::vector<double>(600, 6000.0));
+  auto slow = net::ThroughputTrace("slow", std::vector<double>(600, 500.0));
+  auto s_fast = player_.stream(video_, fast, fugu);
+  auto s_slow = player_.stream(video_, slow, fugu);
+  EXPECT_GT(s_fast.mean_bitrate_kbps(), 2000.0);
+  EXPECT_LT(s_slow.mean_bitrate_kbps(), 900.0);
+  EXPECT_LT(s_slow.total_rebuffer_s(), 5.0);  // stays sustainable
+}
+
+TEST_F(FuguTest, VanillaNeverSchedulesRebuffering) {
+  FuguAbr fugu;
+  auto trace = net::TraceGenerator::cellular("c", 1200, 600.0, 5);
+  auto s = player_.stream(video_, trace, fugu);
+  for (const auto& c : s.chunks()) EXPECT_DOUBLE_EQ(c.scheduled_rebuffer_s, 0.0);
+}
+
+TEST_F(FuguTest, WeightedVariantRespondsToWeights) {
+  // Craft weights with a sharp high-sensitivity region; under a constrained
+  // link the weighted controller must allocate relatively more bitrate to
+  // the heavy chunks than the unweighted one.
+  FuguConfig cfg;
+  cfg.use_weights = true;
+  FuguAbr sensei_fugu(cfg);
+  FuguAbr fugu;
+
+  std::vector<double> weights(video_.num_chunks(), 0.8);
+  for (size_t i = 15; i < 21; ++i) weights[i] = 2.5;
+
+  auto trace = net::ThroughputTrace("tight", std::vector<double>(600, 1100.0));
+  auto s_plain = player_.stream(video_, trace, fugu);
+  auto s_weighted = player_.stream(video_, trace, sensei_fugu, weights);
+
+  double heavy_plain = 0.0, heavy_weighted = 0.0;
+  for (size_t i = 15; i < 21; ++i) {
+    heavy_plain += s_plain.chunks()[i].bitrate_kbps;
+    heavy_weighted += s_weighted.chunks()[i].bitrate_kbps;
+  }
+  EXPECT_GE(heavy_weighted, heavy_plain);
+}
+
+TEST_F(FuguTest, RebufferOptionsOnlyFireWithClearAdvantage) {
+  FuguConfig cfg;
+  cfg.use_weights = true;
+  cfg.rebuffer_options = {0.0, 1.0, 2.0};
+  FuguAbr sensei_fugu(cfg);
+  // Plenty of bandwidth: a deliberate stall can never be worth it.
+  auto fast = net::ThroughputTrace("fast", std::vector<double>(600, 6000.0));
+  std::vector<double> weights(video_.num_chunks(), 1.0);
+  auto s = player_.stream(video_, fast, sensei_fugu, weights);
+  double scheduled = 0.0;
+  for (const auto& c : s.chunks()) scheduled += c.scheduled_rebuffer_s;
+  EXPECT_DOUBLE_EQ(scheduled, 0.0);
+}
+
+TEST_F(FuguTest, HorizonOneIsGreedy) {
+  FuguConfig cfg;
+  cfg.horizon = 1;
+  FuguAbr greedy(cfg);
+  auto trace = net::TraceGenerator::broadband("b", 2000, 600.0, 6);
+  auto s = player_.stream(video_, trace, greedy);
+  EXPECT_EQ(s.chunks().size(), video_.num_chunks());
+}
+
+TEST_F(FuguTest, NameReflectsMode) {
+  FuguConfig weighted;
+  weighted.use_weights = true;
+  EXPECT_STREQ(FuguAbr().name(), "Fugu");
+  EXPECT_STREQ(FuguAbr(weighted).name(), "Sensei-Fugu");
+}
+
+TEST_F(FuguTest, DeterministicDecisions) {
+  FuguAbr a, b;
+  auto trace = net::TraceGenerator::cellular("c", 1500, 600.0, 7);
+  auto sa = player_.stream(video_, trace, a);
+  auto sb = player_.stream(video_, trace, b);
+  for (size_t i = 0; i < sa.chunks().size(); ++i) {
+    EXPECT_EQ(sa.chunks()[i].level, sb.chunks()[i].level);
+  }
+}
+
+// Parameterized sweep: Fugu completes sessions without pathological stalls
+// across the whole evaluation trace set.
+class FuguTraceSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FuguTraceSweep, ReasonableStallBehaviour) {
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("FuguSweep", media::Genre::kGaming, 120));
+  auto traces = net::TraceGenerator::test_set(400.0);
+  FuguAbr fugu;
+  auto s = sim::Player().stream(video, traces[GetParam()], fugu);
+  // Total stall below 15% of playback duration on every evaluation trace.
+  EXPECT_LT(s.total_rebuffer_s(), 0.15 * video.source().duration_s());
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, FuguTraceSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+}  // namespace
+}  // namespace sensei::abr

@@ -1,0 +1,106 @@
+#include "crowd/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+#include "util/stats.h"
+
+namespace sensei::crowd {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  media::EncodedVideo clip_ = media::Encoder().encode(media::Dataset::soccer1_clip());
+  GroundTruthQoE oracle_;
+};
+
+TEST_F(GroundTruthTest, PristineScoresHigh) {
+  double q = oracle_.score(sim::RenderedVideo::pristine(clip_));
+  EXPECT_GT(q, 0.75);
+  EXPECT_LE(q, 1.0);
+}
+
+TEST_F(GroundTruthTest, ScoresAreInUnitInterval) {
+  auto base = sim::RenderedVideo::pristine(clip_);
+  for (size_t c = 0; c < clip_.num_chunks(); ++c) {
+    double q = oracle_.score(base.with_rebuffering(c, 6.0));
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+// The Figure 1 phenomenon: rebuffering during the goal (chunk 3, key moment)
+// hurts much more than the same stall during the replay (chunk 5).
+TEST_F(GroundTruthTest, KeyMomentStallHurtsMost) {
+  auto base = sim::RenderedVideo::pristine(clip_);
+  double at_goal = oracle_.score(base.with_rebuffering(3, 1.0));
+  double at_replay = oracle_.score(base.with_rebuffering(5, 1.0));
+  double at_normal = oracle_.score(base.with_rebuffering(1, 1.0));
+  EXPECT_LT(at_goal, at_normal);
+  EXPECT_LT(at_goal, at_replay);
+  // The paper reports ~40%+ max-min gaps; require a substantial one.
+  EXPECT_GT((at_replay - at_goal) / at_goal, 0.25);
+}
+
+TEST_F(GroundTruthTest, LongerStallsHurtMore) {
+  auto base = sim::RenderedVideo::pristine(clip_);
+  double s1 = oracle_.score(base.with_rebuffering(3, 1.0));
+  double s4 = oracle_.score(base.with_rebuffering(3, 4.0));
+  EXPECT_LT(s4, s1);
+}
+
+TEST_F(GroundTruthTest, StartupDelayHasMildPenalty) {
+  auto base = sim::RenderedVideo::pristine(clip_);
+  double q0 = oracle_.score(base);
+  double q5 = oracle_.score(base.with_startup_delay(5.0));
+  EXPECT_LT(q5, q0);
+  EXPECT_GT(q5, q0 - 0.2);  // much milder than a mid-stream stall
+}
+
+// §2.3's "quality sensitivity is inherent to content": the QoE ranking over
+// incident positions must agree across incident types (Figures 4 and 5).
+TEST_F(GroundTruthTest, IncidentTypeAgnosticRanking) {
+  auto base = sim::RenderedVideo::pristine(clip_);
+  std::vector<double> q_rebuf1, q_rebuf4, q_drop;
+  for (size_t c = 0; c < clip_.num_chunks(); ++c) {
+    q_rebuf1.push_back(oracle_.score(base.with_rebuffering(c, 1.0)));
+    q_rebuf4.push_back(oracle_.score(base.with_rebuffering(c, 4.0)));
+    q_drop.push_back(oracle_.score(base.with_bitrate_drop(c, 1, 0, clip_)));
+  }
+  EXPECT_GT(util::spearman(q_rebuf1, q_rebuf4), 0.9);
+  EXPECT_GT(util::spearman(q_rebuf1, q_drop), 0.7);
+}
+
+TEST_F(GroundTruthTest, ComponentsBracketScore) {
+  auto degraded = sim::RenderedVideo::pristine(clip_).with_rebuffering(3, 2.0);
+  double m = oracle_.weighted_mean(degraded);
+  double w = oracle_.worst_memory(degraded);
+  double q = oracle_.score(degraded);
+  EXPECT_LE(q, std::max(m, w) + 1e-9);
+  EXPECT_GE(q, std::min(m, w) - 1e-9);
+  EXPECT_LT(w, m);  // the worst memory is worse than the average
+}
+
+TEST_F(GroundTruthTest, WorstMemoryDiscountsByAttention) {
+  // Same per-chunk damage at a low-sensitivity chunk leaves a milder memory.
+  auto base = sim::RenderedVideo::pristine(clip_);
+  double w_key = oracle_.worst_memory(base.with_rebuffering(3, 2.0));
+  double w_replay = oracle_.worst_memory(base.with_rebuffering(5, 2.0));
+  EXPECT_LT(w_key, w_replay);
+}
+
+TEST_F(GroundTruthTest, MeanWeightParameterBlends) {
+  GroundTruthParams mean_only;
+  mean_only.mean_weight = 1.0;
+  GroundTruthQoE oracle_mean(mean_only);
+  auto degraded = sim::RenderedVideo::pristine(clip_).with_rebuffering(3, 2.0);
+  EXPECT_NEAR(oracle_mean.score(degraded), oracle_mean.weighted_mean(degraded), 1e-9);
+}
+
+TEST_F(GroundTruthTest, EmptyVideoScoresZero) {
+  sim::RenderedVideo empty;
+  EXPECT_DOUBLE_EQ(oracle_.score(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace sensei::crowd

@@ -1,0 +1,42 @@
+#include "media/ladder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sensei::media {
+namespace {
+
+TEST(Ladder, DefaultMatchesPaper) {
+  BitrateLadder ladder;
+  ASSERT_EQ(ladder.level_count(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.kbps(0), 300);
+  EXPECT_DOUBLE_EQ(ladder.kbps(4), 2850);
+  EXPECT_DOUBLE_EQ(ladder.lowest_kbps(), 300);
+  EXPECT_DOUBLE_EQ(ladder.highest_kbps(), 2850);
+}
+
+TEST(Ladder, HighestLevelAtMost) {
+  BitrateLadder ladder;
+  EXPECT_EQ(ladder.highest_level_at_most(100), 0u);   // below lowest -> 0
+  EXPECT_EQ(ladder.highest_level_at_most(300), 0u);
+  EXPECT_EQ(ladder.highest_level_at_most(760), 1u);
+  EXPECT_EQ(ladder.highest_level_at_most(1850), 3u);
+  EXPECT_EQ(ladder.highest_level_at_most(99999), 4u);
+}
+
+TEST(Ladder, LevelOf) {
+  BitrateLadder ladder;
+  EXPECT_EQ(ladder.level_of(1200), 2);
+  EXPECT_EQ(ladder.level_of(1201), -1);
+}
+
+TEST(Ladder, CustomLadderValidation) {
+  EXPECT_THROW(BitrateLadder(std::vector<double>{}), std::runtime_error);
+  EXPECT_THROW(BitrateLadder({500, 300}), std::runtime_error);
+  BitrateLadder ok({100, 200});
+  EXPECT_EQ(ok.level_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sensei::media

@@ -1,0 +1,91 @@
+#include "ml/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sensei::ml {
+namespace {
+
+TEST(Lstm, PredictIsDeterministic) {
+  util::Rng rng(1);
+  LstmRegressor lstm(3, 6, rng);
+  std::vector<std::vector<double>> seq = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+  EXPECT_DOUBLE_EQ(lstm.predict(seq), lstm.predict(seq));
+}
+
+TEST(Lstm, EmptySequenceReturnsBias) {
+  util::Rng rng(2);
+  LstmRegressor lstm(3, 6, rng);
+  EXPECT_DOUBLE_EQ(lstm.predict({}), 0.0);  // head bias initialized to 0
+}
+
+TEST(Lstm, WrongFeatureDimThrows) {
+  util::Rng rng(3);
+  LstmRegressor lstm(3, 4, rng);
+  EXPECT_THROW(lstm.predict({{1.0, 2.0}}), std::runtime_error);
+}
+
+TEST(Lstm, TrainStepReducesLossOnSinglePair) {
+  util::Rng rng(4);
+  LstmRegressor lstm(2, 8, rng);
+  std::vector<std::vector<double>> seq = {{0.5, -0.2}, {0.1, 0.9}, {-0.3, 0.4}};
+  double first = lstm.train_step(seq, 0.7, 0.02);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = lstm.train_step(seq, 0.7, 0.02);
+  EXPECT_LT(last, first * 0.05);
+  EXPECT_NEAR(lstm.predict(seq), 0.7, 0.05);
+}
+
+TEST(Lstm, LearnsSequenceSumTask) {
+  // Target = mean of first feature over the sequence: requires memory.
+  util::Rng rng(5);
+  LstmRegressor lstm(1, 10, rng);
+  util::Rng data_rng(6);
+  std::vector<std::vector<std::vector<double>>> sequences;
+  std::vector<double> targets;
+  for (int i = 0; i < 60; ++i) {
+    size_t len = 3 + static_cast<size_t>(data_rng.uniform_int(0, 4));
+    std::vector<std::vector<double>> seq;
+    double total = 0.0;
+    for (size_t t = 0; t < len; ++t) {
+      double v = data_rng.uniform(0, 1);
+      seq.push_back({v});
+      total += v;
+    }
+    sequences.push_back(seq);
+    targets.push_back(total / static_cast<double>(len));
+  }
+  double final_loss = lstm.fit(sequences, targets, 150, 0.01, data_rng);
+  EXPECT_LT(final_loss, 0.01);
+}
+
+TEST(Lstm, MismatchedDatasetThrows) {
+  util::Rng rng(7);
+  LstmRegressor lstm(1, 4, rng);
+  std::vector<std::vector<std::vector<double>>> seqs(2);
+  std::vector<double> targets(3);
+  EXPECT_THROW(lstm.fit(seqs, targets, 1, 0.01, rng), std::runtime_error);
+}
+
+TEST(Lstm, DistinguishesOrderings) {
+  // Train to output 1 for ascending and 0 for descending sequences; an
+  // order-insensitive model cannot separate them.
+  util::Rng rng(8);
+  LstmRegressor lstm(1, 10, rng);
+  std::vector<std::vector<std::vector<double>>> seqs;
+  std::vector<double> targets;
+  for (int i = 0; i < 20; ++i) {
+    double base = 0.1 + 0.02 * i;
+    seqs.push_back({{base}, {base + 0.3}, {base + 0.6}});
+    targets.push_back(1.0);
+    seqs.push_back({{base + 0.6}, {base + 0.3}, {base}});
+    targets.push_back(0.0);
+  }
+  lstm.fit(seqs, targets, 250, 0.015, rng);
+  EXPECT_GT(lstm.predict({{0.2}, {0.5}, {0.8}}), 0.7);
+  EXPECT_LT(lstm.predict({{0.8}, {0.5}, {0.2}}), 0.3);
+}
+
+}  // namespace
+}  // namespace sensei::ml

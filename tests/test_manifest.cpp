@@ -1,0 +1,88 @@
+#include "sim/manifest.h"
+
+#include <gtest/gtest.h>
+
+namespace sensei::sim {
+namespace {
+
+Manifest sample() {
+  Manifest m;
+  m.video_name = "Soccer1";
+  m.chunk_duration_s = 4.0;
+  m.num_chunks = 3;
+  m.bitrates_kbps = {300, 750, 1200, 1850, 2850};
+  m.weights = {0.8, 1.5, 0.7};
+  return m;
+}
+
+TEST(Manifest, RoundTripPreservesEverything) {
+  Manifest m = sample();
+  Manifest back = Manifest::from_xml(m.to_xml());
+  EXPECT_EQ(back.video_name, "Soccer1");
+  EXPECT_DOUBLE_EQ(back.chunk_duration_s, 4.0);
+  EXPECT_EQ(back.num_chunks, 3u);
+  ASSERT_EQ(back.bitrates_kbps.size(), 5u);
+  EXPECT_DOUBLE_EQ(back.bitrates_kbps[0], 300);
+  EXPECT_DOUBLE_EQ(back.bitrates_kbps[4], 2850);
+  ASSERT_EQ(back.weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.weights[1], 1.5);
+}
+
+TEST(Manifest, XmlContainsSenseiExtension) {
+  std::string xml = sample().to_xml();
+  EXPECT_NE(xml.find("<SenseiWeights"), std::string::npos);
+  EXPECT_NE(xml.find("<Representation"), std::string::npos);
+  EXPECT_NE(xml.find("<MPD"), std::string::npos);
+}
+
+TEST(Manifest, WeightlessManifestOmitsExtension) {
+  Manifest m = sample();
+  m.weights.clear();
+  std::string xml = m.to_xml();
+  EXPECT_EQ(xml.find("<SenseiWeights"), std::string::npos);
+  Manifest back = Manifest::from_xml(xml);
+  EXPECT_TRUE(back.weights.empty());
+}
+
+TEST(Manifest, EscapesVideoName) {
+  Manifest m = sample();
+  m.video_name = "A<B>&\"C";
+  Manifest back = Manifest::from_xml(m.to_xml());
+  EXPECT_EQ(back.video_name, "A<B>&\"C");
+}
+
+TEST(Manifest, WeightCountMismatchThrows) {
+  Manifest m = sample();
+  std::string xml = m.to_xml();
+  // Corrupt: claim 4 chunks but provide 3 weights.
+  auto pos = xml.find("numChunks=\"3\"");
+  ASSERT_NE(pos, std::string::npos);
+  xml.replace(pos, 13, "numChunks=\"4\"");
+  EXPECT_THROW(Manifest::from_xml(xml), std::runtime_error);
+}
+
+TEST(Manifest, MalformedDocumentsThrow) {
+  EXPECT_THROW(Manifest::from_xml(""), std::runtime_error);
+  EXPECT_THROW(Manifest::from_xml("<MPD></MPD>"), std::runtime_error);
+  EXPECT_THROW(Manifest::from_xml("<AdaptationSet name=\"x\">"), std::runtime_error);
+}
+
+TEST(Manifest, LadderConstruction) {
+  Manifest m = sample();
+  media::BitrateLadder ladder = m.ladder();
+  EXPECT_EQ(ladder.level_count(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.highest_kbps(), 2850);
+}
+
+TEST(Manifest, ManyChunksRoundTrip) {
+  Manifest m = sample();
+  m.num_chunks = 149;
+  m.weights.assign(149, 1.0);
+  m.weights[77] = 1.9876;
+  Manifest back = Manifest::from_xml(m.to_xml());
+  ASSERT_EQ(back.weights.size(), 149u);
+  EXPECT_NEAR(back.weights[77], 1.9876, 1e-9);
+}
+
+}  // namespace
+}  // namespace sensei::sim

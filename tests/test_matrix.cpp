@@ -1,0 +1,108 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sensei::util {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(Matrix, Identity) {
+  Matrix id = Matrix::identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id.at(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = ++v;
+  Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t.at(c, r), m.at(r, c));
+}
+
+TEST(Matrix, MultiplyMatrices) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  for (size_t c = 0; c < 3; ++c) {
+    a.at(0, c) = static_cast<double>(c + 1);
+    a.at(1, c) = 1.0;
+  }
+  auto y = a.multiply(std::vector<double>{1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(Matrix, MultiplyDimsMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), std::runtime_error);
+  EXPECT_THROW(a.multiply(std::vector<double>{1, 2}), std::runtime_error);
+}
+
+TEST(Matrix, SolveKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2; a.at(0, 1) = 1; a.at(1, 0) = 1; a.at(1, 1) = 3;
+  auto x = Matrix::solve(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(Matrix, SolveRequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0; a.at(0, 1) = 1; a.at(1, 0) = 1; a.at(1, 1) = 0;
+  auto x = Matrix::solve(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, SolveSingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 4;
+  EXPECT_THROW(Matrix::solve(a, {1, 2}), std::runtime_error);
+}
+
+TEST(Matrix, SolveLargerSystemRoundTrip) {
+  // Build a well-conditioned system and verify A x = b after solving.
+  const size_t n = 6;
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a.at(r, c) = 1.0 / (1.0 + static_cast<double>(r + c));
+    a.at(r, r) += 2.0;
+  }
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) - 2.0;
+  auto x = Matrix::solve(a, b);
+  auto back = a.multiply(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace sensei::util

@@ -1,0 +1,105 @@
+#include "abr/offline_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "abr/bba.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "qoe/chunk_quality.h"
+#include "sim/player.h"
+
+namespace sensei::abr {
+namespace {
+
+double weighted_objective(const sim::SessionResult& session,
+                          const std::vector<double>& weights) {
+  const auto& chunks = session.chunks();
+  double total = 0.0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    double prev = i > 0 ? chunks[i - 1].visual_quality : chunks[i].visual_quality;
+    double q = qoe::chunk_quality(chunks[i].visual_quality, chunks[i].rebuffer_s, prev);
+    total += (i < weights.size() ? weights[i] : 1.0) * q;
+  }
+  return total;
+}
+
+class OfflineTest : public ::testing::Test {
+ protected:
+  media::EncodedVideo video_ = media::Encoder().encode(
+      media::SourceVideo::generate("OffTest", media::Genre::kSports, 100));
+  net::ThroughputTrace trace_ = net::TraceGenerator::broadband("b", 1500, 700.0, 3);
+  std::vector<double> ones_ = std::vector<double>(video_.num_chunks(), 1.0);
+};
+
+TEST_F(OfflineTest, ProducesCompletePlan) {
+  auto s = plan_offline(video_, trace_, ones_);
+  EXPECT_EQ(s.chunks().size(), video_.num_chunks());
+  for (const auto& c : s.chunks()) {
+    EXPECT_LT(c.level, 5u);
+    EXPECT_GE(c.rebuffer_s, 0.0);
+  }
+}
+
+TEST_F(OfflineTest, BeatsOnlineHeuristicOnItsOwnObjective) {
+  // With full trace knowledge the planner must score at least as well as an
+  // online policy on the objective it optimizes.
+  auto planned = plan_offline(video_, trace_, ones_);
+  BbaAbr bba;
+  auto online = sim::Player().stream(video_, trace_, bba);
+  EXPECT_GE(weighted_objective(planned, ones_), weighted_objective(online, ones_) - 0.5);
+}
+
+TEST_F(OfflineTest, RespectsBandwidthReality) {
+  // On a slow link even the optimum cannot stream top bitrate stall-free;
+  // the planner should respond by picking lower levels, not stalling a lot.
+  auto slow = net::ThroughputTrace("slow", std::vector<double>(800, 450.0));
+  auto s = plan_offline(video_, slow, ones_);
+  EXPECT_LT(s.mean_bitrate_kbps(), 900.0);
+  EXPECT_LT(s.total_rebuffer_s(), 0.2 * video_.source().duration_s());
+}
+
+TEST_F(OfflineTest, UnawareVariantTakesNoScheduledStalls) {
+  OfflineConfig cfg;
+  cfg.rebuffer_options = {0.0};
+  auto s = plan_offline(video_, trace_, ones_, cfg);
+  for (const auto& c : s.chunks()) EXPECT_DOUBLE_EQ(c.scheduled_rebuffer_s, 0.0);
+}
+
+TEST_F(OfflineTest, AwareBeatsUnawareOnWeightedObjective) {
+  std::vector<double> weights = video_.source().true_sensitivity();
+  OfflineConfig unaware_cfg;
+  unaware_cfg.rebuffer_options = {0.0};
+  OfflineConfig aware_cfg;
+  aware_cfg.rebuffer_options = {0.0, 1.0, 2.0};
+  // Constrain bandwidth so the weights matter.
+  auto tight = trace_.scaled(0.5);
+  auto unaware = plan_offline(video_, tight, ones_, unaware_cfg);
+  auto aware = plan_offline(video_, tight, weights, aware_cfg);
+  EXPECT_GE(weighted_objective(aware, weights),
+            weighted_objective(unaware, weights) - 0.5);
+}
+
+TEST_F(OfflineTest, RebufferOptionsMustStartWithZero) {
+  OfflineConfig bad;
+  bad.rebuffer_options = {1.0, 2.0};
+  EXPECT_THROW(plan_offline(video_, trace_, ones_, bad), std::runtime_error);
+  bad.rebuffer_options = {};
+  EXPECT_THROW(plan_offline(video_, trace_, ones_, bad), std::runtime_error);
+}
+
+TEST_F(OfflineTest, FirstChunkIsStartupNotStall) {
+  auto s = plan_offline(video_, trace_, ones_);
+  EXPECT_GT(s.startup_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(s.chunks()[0].rebuffer_s, 0.0);
+}
+
+TEST_F(OfflineTest, MoreBandwidthNeverHurtsMuch) {
+  // Quantization allows small wobbles, but doubling bandwidth should never
+  // reduce the achieved objective materially.
+  auto s1 = plan_offline(video_, trace_.scaled(0.5), ones_);
+  auto s2 = plan_offline(video_, trace_, ones_);
+  EXPECT_GE(weighted_objective(s2, ones_), weighted_objective(s1, ones_) - 0.5);
+}
+
+}  // namespace
+}  // namespace sensei::abr

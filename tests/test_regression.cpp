@@ -1,0 +1,112 @@
+#include "util/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sensei::util {
+namespace {
+
+TEST(Regression, ExactLinearRecovery) {
+  // y = 2*x0 - 1*x1 + 3, noiseless -> OLS recovers coefficients exactly.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    double x0 = rng.uniform(-2, 2), x1 = rng.uniform(-2, 2);
+    rows.push_back({x0, x1, 1.0});
+    y.push_back(2.0 * x0 - 1.0 * x1 + 3.0);
+  }
+  auto fit = fit_least_squares(rows, y);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Regression, NoisyFitHasReasonableRSquared) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.uniform(0, 10);
+    rows.push_back({x, 1.0});
+    y.push_back(1.5 * x + rng.normal(0.0, 0.5));
+  }
+  auto fit = fit_least_squares(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 1.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Regression, RidgeShrinksCoefficients) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.uniform(-1, 1);
+    rows.push_back({x});
+    y.push_back(4.0 * x);
+  }
+  auto plain = fit_least_squares(rows, y, 0.0);
+  auto ridged = fit_least_squares(rows, y, 50.0);
+  EXPECT_NEAR(plain.coefficients[0], 4.0, 1e-9);
+  EXPECT_LT(ridged.coefficients[0], plain.coefficients[0]);
+  EXPECT_GT(ridged.coefficients[0], 0.0);
+}
+
+TEST(Regression, EmptyInputsReturnEmpty) {
+  auto fit = fit_least_squares(std::vector<std::vector<double>>{}, {});
+  EXPECT_TRUE(fit.coefficients.empty());
+}
+
+TEST(Regression, RaggedRowsThrow) {
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(fit_least_squares(rows, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Regression, NonNegativeRecoversPositiveTruth) {
+  // True weights all positive: NNLS should match OLS closely.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(8);
+  const std::vector<double> truth = {0.5, 2.0, 1.0};
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    double target = 0.0;
+    for (size_t k = 0; k < truth.size(); ++k) target += truth[k] * x[k];
+    rows.push_back(x);
+    y.push_back(target);
+  }
+  auto w = fit_nonnegative_least_squares(rows, y, 1e-6);
+  ASSERT_EQ(w.size(), truth.size());
+  for (size_t k = 0; k < truth.size(); ++k) EXPECT_NEAR(w[k], truth[k], 1e-3);
+}
+
+TEST(Regression, NonNegativeClampsNegativeTruth) {
+  // y = -2*x: the best non-negative coefficient is 0.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(-2.0 * i);
+  }
+  auto w = fit_nonnegative_least_squares(rows, y);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(Regression, NonNegativeHandlesSparseRows) {
+  // Diagonal design (each row touches one coordinate) — the structure used
+  // by SENSEI's weight inference after differencing.
+  std::vector<std::vector<double>> rows = {
+      {0.9, 0.0, 0.0}, {0.0, 0.9, 0.0}, {0.0, 0.0, 0.9}};
+  std::vector<double> y = {0.45, 0.9, 0.09};
+  auto w = fit_nonnegative_least_squares(rows, y, 1e-9, 500);
+  EXPECT_NEAR(w[0], 0.5, 1e-5);
+  EXPECT_NEAR(w[1], 1.0, 1e-5);
+  EXPECT_NEAR(w[2], 0.1, 1e-5);
+}
+
+}  // namespace
+}  // namespace sensei::util

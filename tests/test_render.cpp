@@ -1,0 +1,94 @@
+#include "sim/render.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+
+namespace sensei::sim {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  media::SourceVideo source_ = media::Dataset::soccer1_clip();
+  media::EncodedVideo video_ = media::Encoder().encode(source_);
+};
+
+TEST_F(RenderTest, PristineIsTopLevelNoStalls) {
+  RenderedVideo p = RenderedVideo::pristine(video_);
+  EXPECT_EQ(p.num_chunks(), video_.num_chunks());
+  for (size_t i = 0; i < p.num_chunks(); ++i) {
+    EXPECT_EQ(p.chunk(i).level, 4u);
+    EXPECT_DOUBLE_EQ(p.chunk(i).rebuffer_s, 0.0);
+    EXPECT_DOUBLE_EQ(p.chunk(i).bitrate_kbps, 2850);
+  }
+  EXPECT_DOUBLE_EQ(p.total_rebuffer_s(), 0.0);
+  EXPECT_EQ(p.switch_count(), 0u);
+  EXPECT_DOUBLE_EQ(p.startup_delay_s(), 0.0);
+}
+
+TEST_F(RenderTest, WithRebufferingAddsStallAtChunk) {
+  RenderedVideo p = RenderedVideo::pristine(video_);
+  RenderedVideo r = p.with_rebuffering(2, 1.5);
+  EXPECT_DOUBLE_EQ(r.chunk(2).rebuffer_s, 1.5);
+  EXPECT_DOUBLE_EQ(r.total_rebuffer_s(), 1.5);
+  // Original is unchanged (value semantics).
+  EXPECT_DOUBLE_EQ(p.chunk(2).rebuffer_s, 0.0);
+  EXPECT_NE(r.name(), p.name());
+}
+
+TEST_F(RenderTest, WithBitrateDropChangesRange) {
+  RenderedVideo p = RenderedVideo::pristine(video_);
+  RenderedVideo r = p.with_bitrate_drop(1, 2, 0, video_);
+  EXPECT_EQ(r.chunk(0).level, 4u);
+  EXPECT_EQ(r.chunk(1).level, 0u);
+  EXPECT_EQ(r.chunk(2).level, 0u);
+  EXPECT_EQ(r.chunk(3).level, 4u);
+  EXPECT_EQ(r.switch_count(), 2u);  // 4->0 and 0->4
+  EXPECT_GT(r.total_quality_switch_magnitude(), 0.0);
+  EXPECT_LT(r.mean_bitrate_kbps(), p.mean_bitrate_kbps());
+}
+
+TEST_F(RenderTest, BitrateDropClampsAtEnd) {
+  RenderedVideo p = RenderedVideo::pristine(video_);
+  RenderedVideo r = p.with_bitrate_drop(p.num_chunks() - 1, 5, 1, video_);
+  EXPECT_EQ(r.chunk(p.num_chunks() - 1).level, 1u);
+  EXPECT_EQ(r.switch_count(), 1u);
+}
+
+TEST_F(RenderTest, WithStartupDelay) {
+  RenderedVideo r = RenderedVideo::pristine(video_).with_startup_delay(2.5);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s(), 2.5);
+}
+
+TEST_F(RenderTest, RebufferSeriesOnePerChunk) {
+  auto series = rebuffer_series(video_, 1.0);
+  ASSERT_EQ(series.size(), video_.num_chunks());
+  for (size_t j = 0; j < series.size(); ++j) {
+    EXPECT_DOUBLE_EQ(series[j].total_rebuffer_s(), 1.0);
+    EXPECT_DOUBLE_EQ(series[j].chunk(j).rebuffer_s, 1.0);
+  }
+}
+
+TEST_F(RenderTest, BitrateDropSeries) {
+  auto series = bitrate_drop_series(video_, 0, 1);
+  ASSERT_EQ(series.size(), video_.num_chunks());
+  for (size_t j = 0; j < series.size(); ++j) {
+    EXPECT_EQ(series[j].chunk(j).level, 0u);
+    EXPECT_DOUBLE_EQ(series[j].total_rebuffer_s(), 0.0);
+  }
+}
+
+TEST_F(RenderTest, PlaybackDurationAndMeanBitrate) {
+  RenderedVideo p = RenderedVideo::pristine(video_);
+  EXPECT_DOUBLE_EQ(p.playback_duration_s(), 24.0);  // 6 chunks x 4 s
+  EXPECT_DOUBLE_EQ(p.mean_bitrate_kbps(), 2850.0);
+}
+
+TEST(Render, MismatchedContentThrows) {
+  std::vector<RenderedChunk> chunks(3);
+  std::vector<media::ChunkContent> content(2);
+  EXPECT_THROW(RenderedVideo("x", 4.0, chunks, content), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sensei::sim

@@ -1,0 +1,88 @@
+#include "crowd/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+#include "util/stats.h"
+
+namespace sensei::crowd {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  media::EncodedVideo video_ = media::Encoder().encode(
+      media::SourceVideo::generate("SchedTest", media::Genre::kSports, 80));
+  GroundTruthQoE oracle_;
+};
+
+TEST_F(SchedulerTest, ProfileProducesNormalizedWeights) {
+  Scheduler scheduler(oracle_, SchedulerConfig(), 1);
+  SensitivityProfile p = scheduler.profile(video_);
+  ASSERT_EQ(p.weights.size(), video_.num_chunks());
+  EXPECT_NEAR(util::mean(p.weights), 1.0, 1e-9);
+  for (double w : p.weights) EXPECT_GE(w, 0.0);
+}
+
+TEST_F(SchedulerTest, ProfileTracksTrueSensitivity) {
+  Scheduler scheduler(oracle_, SchedulerConfig(), 2);
+  SensitivityProfile p = scheduler.profile(video_);
+  double srcc = util::spearman(p.weights, video_.source().true_sensitivity());
+  EXPECT_GT(srcc, 0.35);  // crowdsourced with noise, but clearly informative
+}
+
+TEST_F(SchedulerTest, BookkeepingIsConsistent) {
+  Scheduler scheduler(oracle_, SchedulerConfig(), 3);
+  SensitivityProfile p = scheduler.profile(video_);
+  EXPECT_GT(p.cost_usd, 0.0);
+  EXPECT_GT(p.elapsed_minutes, 0.0);
+  EXPECT_GT(p.participants, 0u);
+  // Step 1 publishes one rendering per chunk; step 2 adds more.
+  EXPECT_GE(p.renderings_rated, video_.num_chunks());
+  EXPECT_GT(p.ratings_collected, 0u);
+  EXPECT_LE(p.step2_chunks, video_.num_chunks());
+}
+
+TEST_F(SchedulerTest, PruningCutsCostVersusExhaustive) {
+  Scheduler scheduler(oracle_, SchedulerConfig(), 4);
+  SensitivityProfile pruned = scheduler.profile(video_);
+  SensitivityProfile full = scheduler.profile_exhaustive(video_, 30);
+  EXPECT_LT(pruned.cost_usd, full.cost_usd * 0.25);  // paper: ~96.7% pruning
+  // Both recover the sensitivity signal.
+  auto s = video_.source().true_sensitivity();
+  EXPECT_GT(util::spearman(full.weights, s), 0.4);
+  EXPECT_GT(util::spearman(pruned.weights, s), 0.3);
+}
+
+TEST_F(SchedulerTest, AlphaControlsStepTwoSelection) {
+  SchedulerConfig tight;
+  tight.alpha = 0.5;  // only extreme chunks qualify
+  SchedulerConfig loose;
+  loose.alpha = 0.0;  // everything qualifies
+  Scheduler s1(oracle_, tight, 5);
+  Scheduler s2(oracle_, loose, 5);
+  SensitivityProfile p1 = s1.profile(video_);
+  SensitivityProfile p2 = s2.profile(video_);
+  EXPECT_LT(p1.step2_chunks, p2.step2_chunks);
+  EXPECT_LT(p1.cost_usd, p2.cost_usd);
+}
+
+TEST_F(SchedulerTest, MoreRatersCostMore) {
+  SchedulerConfig few;
+  few.m1 = 4;
+  few.m2 = 2;
+  SchedulerConfig many;
+  many.m1 = 16;
+  many.m2 = 8;
+  Scheduler s1(oracle_, few, 6);
+  Scheduler s2(oracle_, many, 6);
+  EXPECT_LT(s1.profile(video_).cost_usd, s2.profile(video_).cost_usd);
+}
+
+TEST_F(SchedulerTest, DeterministicForSeed) {
+  Scheduler a(oracle_, SchedulerConfig(), 9);
+  Scheduler b(oracle_, SchedulerConfig(), 9);
+  EXPECT_EQ(a.profile(video_).weights, b.profile(video_).weights);
+}
+
+}  // namespace
+}  // namespace sensei::crowd

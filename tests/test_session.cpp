@@ -1,0 +1,65 @@
+#include "sim/session.h"
+
+#include <gtest/gtest.h>
+
+#include "media/dataset.h"
+
+namespace sensei::sim {
+namespace {
+
+SessionResult make_session(const media::EncodedVideo& video) {
+  std::vector<ChunkRecord> records;
+  for (size_t i = 0; i < 4; ++i) {
+    ChunkRecord r;
+    r.index = i;
+    r.level = i % 2;  // 0,1,0,1 -> 3 switches
+    const auto& rep = video.rep(i, r.level);
+    r.bitrate_kbps = rep.bitrate_kbps;
+    r.size_bytes = rep.size_bytes;
+    r.visual_quality = rep.visual_quality;
+    r.rebuffer_s = i == 2 ? 2.0 : 0.0;
+    records.push_back(r);
+  }
+  return SessionResult("vid", "trace", 4.0, records, 1.5);
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  media::EncodedVideo video_ =
+      media::Encoder().encode(media::Dataset::soccer1_clip());
+  SessionResult session_ = make_session(video_);
+};
+
+TEST_F(SessionTest, SummaryMetrics) {
+  EXPECT_DOUBLE_EQ(session_.total_rebuffer_s(), 2.0);
+  EXPECT_DOUBLE_EQ(session_.rebuffer_ratio(), 2.0 / (16.0 + 2.0));
+  EXPECT_EQ(session_.switch_count(), 3u);
+  EXPECT_DOUBLE_EQ(session_.startup_delay_s(), 1.5);
+  EXPECT_DOUBLE_EQ(session_.mean_bitrate_kbps(), (300 + 750 + 300 + 750) / 4.0);
+  EXPECT_GT(session_.total_bytes(), 0.0);
+  EXPECT_GT(session_.mean_visual_quality(), 0.0);
+}
+
+TEST_F(SessionTest, ToRenderedPreservesPerChunkData) {
+  RenderedVideo r = session_.to_rendered(video_);
+  ASSERT_EQ(r.num_chunks(), 4u);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s(), 1.5);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.chunk(i).level, session_.chunks()[i].level);
+    EXPECT_DOUBLE_EQ(r.chunk(i).rebuffer_s, session_.chunks()[i].rebuffer_s);
+    EXPECT_DOUBLE_EQ(r.chunk(i).visual_quality, session_.chunks()[i].visual_quality);
+    // Content metadata is carried over for the oracle/QoE models.
+    EXPECT_DOUBLE_EQ(r.content(i).sensitivity, video_.source().chunk(i).sensitivity);
+  }
+}
+
+TEST_F(SessionTest, EmptySessionIsSafe) {
+  SessionResult empty;
+  EXPECT_DOUBLE_EQ(empty.total_rebuffer_s(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.rebuffer_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_bitrate_kbps(), 0.0);
+  EXPECT_EQ(empty.switch_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sensei::sim

@@ -1,0 +1,167 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sensei::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(variance(v), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(sum(v), 15.0);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(min_of(empty), 0.0);
+  EXPECT_DOUBLE_EQ(max_of(empty), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 50), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(spearman(empty, empty), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> v = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 5.0);  // between first two samples
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> yn = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateVarianceIsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {2, 5, 9};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, RanksWithTies) {
+  std::vector<double> v = {10, 20, 20, 30};
+  auto r = ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};  // monotone but nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, DiscordantFraction) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> same = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(discordant_fraction(x, same), 0.0);
+  std::vector<double> reversed = {30, 20, 10};
+  EXPECT_DOUBLE_EQ(discordant_fraction(x, reversed), 1.0);
+}
+
+TEST(Stats, DiscordantFractionSkipsTies) {
+  std::vector<double> x = {1, 1, 2};
+  std::vector<double> y = {5, 9, 9};
+  // Pairs: (0,1) tie in x, (1,2) tie in y, (0,2) concordant -> 0 discordant.
+  EXPECT_DOUBLE_EQ(discordant_fraction(x, y), 0.0);
+}
+
+TEST(Stats, MeanRelativeError) {
+  std::vector<double> pred = {1.1, 1.8};
+  std::vector<double> truth = {1.0, 2.0};
+  EXPECT_NEAR(mean_relative_error(pred, truth), (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(Stats, MeanRelativeErrorSkipsZeroTruth) {
+  std::vector<double> pred = {1.0, 5.0};
+  std::vector<double> truth = {0.0, 4.0};
+  EXPECT_NEAR(mean_relative_error(pred, truth), 0.25, 1e-12);
+}
+
+TEST(Stats, Rmse) {
+  std::vector<double> pred = {1, 2};
+  std::vector<double> truth = {2, 4};
+  EXPECT_NEAR(rmse(pred, truth), std::sqrt((1.0 + 4.0) / 2.0), 1e-12);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  auto cdf = empirical_cdf({5, 1, 3, 3});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+}
+
+TEST(Stats, Normalize01) {
+  auto n = normalize01({2, 4, 6});
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 1.0);
+  auto c = normalize01({3, 3});
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+}
+
+TEST(Stats, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0, 1), 0.5);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  std::vector<double> v = {1.5, 2.5, -3.0, 4.0, 0.0};
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(v), 1e-12);
+}
+
+// Property sweep: spearman of any vector with itself is 1, with its reverse
+// is -1 (no ties).
+class StatsSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsSeedSweep, SpearmanSelfAndReverse) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(spearman(v, v), 1.0, 1e-9);
+  std::vector<double> neg;
+  for (double x : v) neg.push_back(-x);
+  EXPECT_NEAR(spearman(v, neg), -1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsSeedSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sensei::util

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sensei::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row(std::vector<std::string>{"alpha", "1"});
+  t.add_row(std::vector<std::string>{"beta", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, DoubleRowFormatting) {
+  Table t({"a", "b"});
+  t.add_row(std::vector<double>{1.23456, 2.0}, 2);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row(std::vector<std::string>{"only"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_NO_THROW(t.to_csv());
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "desc"});
+  t.add_row(std::vector<std::string>{"a,b", "say \"hi\""});
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderLine) {
+  Table t({"x", "y"});
+  t.add_row(std::vector<std::string>{"1", "2"});
+  std::string csv = t.to_csv();
+  EXPECT_EQ(csv.substr(0, 4), "x,y\n");
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(Table::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::format_double(-1.0, 0), "-1");
+}
+
+TEST(Table, BannerContainsTitle) {
+  EXPECT_EQ(banner("Figure 1"), "== Figure 1 ==\n");
+}
+
+}  // namespace
+}  // namespace sensei::util

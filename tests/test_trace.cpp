@@ -1,0 +1,103 @@
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sensei::net {
+namespace {
+
+TEST(Trace, ConstructionValidation) {
+  EXPECT_THROW(ThroughputTrace("x", {}), std::runtime_error);
+  EXPECT_THROW(ThroughputTrace("x", {100.0}, 0.0), std::runtime_error);
+  EXPECT_THROW(ThroughputTrace("x", {-5.0}), std::runtime_error);
+}
+
+TEST(Trace, ThroughputAtAndWrap) {
+  ThroughputTrace t("t", {100, 200, 300}, 1.0);
+  EXPECT_DOUBLE_EQ(t.throughput_at(0.0), 100);
+  EXPECT_DOUBLE_EQ(t.throughput_at(1.5), 200);
+  EXPECT_DOUBLE_EQ(t.throughput_at(2.9), 300);
+  EXPECT_DOUBLE_EQ(t.throughput_at(3.0), 100);  // wraps
+  EXPECT_DOUBLE_EQ(t.throughput_at(7.2), 200);
+  EXPECT_DOUBLE_EQ(t.throughput_at(-1.0), 100);  // clamped to start
+}
+
+TEST(Trace, MeanAndStddev) {
+  ThroughputTrace t("t", {100, 300}, 1.0);
+  EXPECT_DOUBLE_EQ(t.mean_kbps(), 200);
+  EXPECT_DOUBLE_EQ(t.stddev_kbps(), 100);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 2.0);
+}
+
+TEST(Trace, DownloadTimeSimpleCase) {
+  // Constant 1000 Kbps: 125000 bytes = 1 Mbit -> 1 s + rtt.
+  ThroughputTrace t("t", std::vector<double>(10, 1000.0), 1.0);
+  EXPECT_NEAR(t.download_time_s(125000, 0.0, 0.08), 1.08, 1e-9);
+}
+
+TEST(Trace, DownloadTimeIntegratesSteps) {
+  // 1 Mbit to download: first second at 500 Kbps moves 0.5 Mbit, second
+  // second at 1000 Kbps moves the rest in 0.5 s.
+  ThroughputTrace t("t", {500, 1000, 1000}, 1.0);
+  EXPECT_NEAR(t.download_time_s(125000, 0.0, 0.0), 1.5, 1e-9);
+}
+
+TEST(Trace, DownloadTimeMidIntervalStart) {
+  ThroughputTrace t("t", {1000, 2000}, 1.0);
+  // Start at 0.5: 0.5 s at 1000 (0.5 Mbit), then at 2000 the remaining
+  // 0.5 Mbit takes 0.25 s.
+  EXPECT_NEAR(t.download_time_s(125000, 0.5, 0.0), 0.75, 1e-9);
+}
+
+TEST(Trace, DownloadTimeZeroBytes) {
+  ThroughputTrace t("t", {1000}, 1.0);
+  EXPECT_DOUBLE_EQ(t.download_time_s(0.0, 0.0, 0.08), 0.08);
+}
+
+TEST(Trace, DownloadSurvivesZeroThroughputStretch) {
+  ThroughputTrace t("t", {0, 0, 1000}, 1.0);
+  // Two dead seconds, then 1 s of transfer.
+  EXPECT_NEAR(t.download_time_s(125000, 0.0, 0.0), 3.0, 1e-9);
+}
+
+TEST(Trace, ScaledMultipliesSamples) {
+  ThroughputTrace t("t", {100, 200}, 1.0);
+  ThroughputTrace s = t.scaled(0.5, "half");
+  EXPECT_EQ(s.name(), "half");
+  EXPECT_DOUBLE_EQ(s.mean_kbps(), 75.0);
+  EXPECT_THROW(t.scaled(-1.0), std::runtime_error);
+}
+
+TEST(Trace, WithNoiseChangesSamplesButKeepsFloor) {
+  ThroughputTrace t("t", std::vector<double>(500, 1000.0), 1.0);
+  ThroughputTrace n = t.with_noise(400.0, 99, 50.0);
+  ASSERT_EQ(n.sample_count(), t.sample_count());
+  bool any_diff = false;
+  for (size_t i = 0; i < n.sample_count(); ++i) {
+    EXPECT_GE(n.samples_kbps()[i], 50.0);
+    if (n.samples_kbps()[i] != 1000.0) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  // Deterministic for the same seed.
+  ThroughputTrace n2 = t.with_noise(400.0, 99, 50.0);
+  EXPECT_EQ(n.samples_kbps(), n2.samples_kbps());
+}
+
+TEST(Trace, CsvRoundTrip) {
+  ThroughputTrace t("orig", {123.5, 456.25, 789.0}, 2.0);
+  ThroughputTrace back = ThroughputTrace::from_csv("copy", t.to_csv());
+  ASSERT_EQ(back.sample_count(), 3u);
+  EXPECT_DOUBLE_EQ(back.interval_s(), 2.0);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(back.samples_kbps()[i], t.samples_kbps()[i]);
+  }
+}
+
+TEST(Trace, FromCsvRejectsEmpty) {
+  EXPECT_THROW(ThroughputTrace::from_csv("x", "time_s,throughput_kbps\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sensei::net

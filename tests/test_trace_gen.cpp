@@ -1,0 +1,62 @@
+#include "net/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace sensei::net {
+namespace {
+
+TEST(TraceGen, CellularMeanNearTarget) {
+  auto t = TraceGenerator::cellular("c", 1500, 2000.0, 3);
+  EXPECT_NEAR(t.mean_kbps(), 1500, 1500 * 0.25);
+  EXPECT_EQ(t.sample_count(), 2000u);
+}
+
+TEST(TraceGen, BroadbandMeanNearTarget) {
+  auto t = TraceGenerator::broadband("b", 3000, 2000.0, 4);
+  EXPECT_NEAR(t.mean_kbps(), 3000, 3000 * 0.15);
+}
+
+TEST(TraceGen, CellularIsBurstierThanBroadband) {
+  auto c = TraceGenerator::cellular("c", 2000, 3000.0, 5);
+  auto b = TraceGenerator::broadband("b", 2000, 3000.0, 5);
+  double cv_c = c.stddev_kbps() / c.mean_kbps();
+  double cv_b = b.stddev_kbps() / b.mean_kbps();
+  EXPECT_GT(cv_c, cv_b);
+}
+
+TEST(TraceGen, SamplesArePositive) {
+  auto c = TraceGenerator::cellular("c", 400, 1500.0, 6);
+  for (double s : c.samples_kbps()) EXPECT_GT(s, 0.0);
+  auto b = TraceGenerator::broadband("b", 400, 1500.0, 6);
+  for (double s : b.samples_kbps()) EXPECT_GT(s, 0.0);
+}
+
+TEST(TraceGen, DeterministicInSeed) {
+  auto a = TraceGenerator::cellular("a", 1000, 500.0, 42);
+  auto b = TraceGenerator::cellular("b", 1000, 500.0, 42);
+  EXPECT_EQ(a.samples_kbps(), b.samples_kbps());
+  auto c = TraceGenerator::cellular("c", 1000, 500.0, 43);
+  EXPECT_NE(a.samples_kbps(), c.samples_kbps());
+}
+
+TEST(TraceGen, TestSetMatchesPaperSetup) {
+  auto traces = TraceGenerator::test_set();
+  ASSERT_EQ(traces.size(), 10u);  // §7.1: 10 traces
+  for (size_t i = 1; i < traces.size(); ++i) {
+    // Ordered by increasing mean throughput (Figure 14's x-axis).
+    EXPECT_LT(traces[i - 1].mean_kbps(), traces[i].mean_kbps());
+  }
+  for (const auto& t : traces) {
+    // §7.1 restricts means to 0.2..6 Mbps.
+    EXPECT_GE(t.mean_kbps(), 200.0);
+    EXPECT_LE(t.mean_kbps(), 6000.0);
+  }
+}
+
+TEST(TraceGen, MotivationSetHasSevenTraces) {
+  auto traces = TraceGenerator::motivation_set();
+  EXPECT_EQ(traces.size(), 7u);  // §2.2: 7 throughput traces
+}
+
+}  // namespace
+}  // namespace sensei::net

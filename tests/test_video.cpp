@@ -1,0 +1,67 @@
+#include "media/video.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sensei::media {
+namespace {
+
+TEST(Video, GenerateHasExpectedShape) {
+  SourceVideo v = SourceVideo::generate("Clip", Genre::kSports, 220);
+  EXPECT_EQ(v.name(), "Clip");
+  EXPECT_EQ(v.genre(), Genre::kSports);
+  EXPECT_EQ(v.num_chunks(), 55u);  // 220 s / 4 s
+  EXPECT_DOUBLE_EQ(v.chunk_duration_s(), 4.0);
+  EXPECT_DOUBLE_EQ(v.duration_s(), 220.0);
+}
+
+TEST(Video, GenerateRoundsUpPartialChunk) {
+  SourceVideo v = SourceVideo::generate("Clip", Genre::kSports, 10);
+  EXPECT_EQ(v.num_chunks(), 3u);  // ceil(10/4)
+}
+
+TEST(Video, GenerateRejectsBadInputs) {
+  EXPECT_THROW(SourceVideo::generate("X", Genre::kSports, 0), std::runtime_error);
+  EXPECT_THROW(SourceVideo("X", Genre::kSports, "d", {}, 0.0), std::runtime_error);
+}
+
+TEST(Video, TrueSensitivityMatchesChunks) {
+  SourceVideo v = SourceVideo::generate("Sens", Genre::kGaming, 60);
+  auto s = v.true_sensitivity();
+  ASSERT_EQ(s.size(), v.num_chunks());
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_DOUBLE_EQ(s[i], v.chunk(i).sensitivity);
+}
+
+TEST(Video, LengthString) {
+  EXPECT_EQ(SourceVideo::generate("A", Genre::kSports, 220).length_string(), "3:40");
+  EXPECT_EQ(SourceVideo::generate("B", Genre::kSports, 84).length_string(), "1:24");
+  EXPECT_EQ(SourceVideo::generate("C", Genre::kSports, 596).length_string(), "9:56");
+}
+
+TEST(Video, ClipExtractsSubrange) {
+  SourceVideo v = SourceVideo::generate("Full", Genre::kNature, 100);
+  SourceVideo c = v.clip(3, 5, "Full-clip");
+  EXPECT_EQ(c.num_chunks(), 5u);
+  EXPECT_EQ(c.name(), "Full-clip");
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(c.chunk(i).sensitivity, v.chunk(3 + i).sensitivity);
+  }
+}
+
+TEST(Video, ClipOutOfRangeThrows) {
+  SourceVideo v = SourceVideo::generate("Full", Genre::kNature, 40);
+  EXPECT_THROW(v.clip(8, 5, "bad"), std::runtime_error);
+}
+
+TEST(Video, GenerationIsReproducible) {
+  SourceVideo a = SourceVideo::generate("Same", Genre::kAnimation, 120);
+  SourceVideo b = SourceVideo::generate("Same", Genre::kAnimation, 120);
+  ASSERT_EQ(a.num_chunks(), b.num_chunks());
+  for (size_t i = 0; i < a.num_chunks(); ++i) {
+    EXPECT_DOUBLE_EQ(a.chunk(i).sensitivity, b.chunk(i).sensitivity);
+  }
+}
+
+}  // namespace
+}  // namespace sensei::media
