@@ -2,7 +2,12 @@
 // trace scaled by different ratios; bandwidth savings read off horizontally
 // at a target QoE. Paper: ~27.9% savings vs Pensieve/Fugu, ~32.1% vs BBA at
 // target QoE 0.8 (on their scale).
+//
+// Ported onto core::ExperimentRunner: each ABR's (video × scaled-trace) grid
+// fans across the worker pool (`--threads N`, default hardware concurrency);
+// results are bit-identical to a serial run.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -14,18 +19,22 @@ using core::Experiments;
 
 namespace {
 
-// Mean true QoE of a policy across all videos at one bandwidth scale.
-double mean_qoe(sim::AbrPolicy& policy, const net::ThroughputTrace& trace,
-                bool use_weights) {
+// Mean true QoE per bandwidth scale for one policy: one run_grid over
+// (videos × scaled traces), then a column average per trace.
+std::vector<double> qoe_per_scale(const Experiments::PolicyFactory& make_policy,
+                                  const std::vector<net::ThroughputTrace>& scaled,
+                                  bool use_weights, const core::ExperimentRunner& runner) {
   const auto& videos = Experiments::videos();
-  const auto& weights = Experiments::weights();
-  util::Accumulator acc;
-  const std::vector<double> none;
-  for (size_t v = 0; v < videos.size(); ++v) {
-    acc.add(Experiments::run(videos[v], trace, policy, use_weights ? weights[v] : none)
-                .true_qoe);
+  auto cells = Experiments::run_grid(
+      videos, scaled, make_policy,
+      use_weights ? Experiments::weights() : std::vector<std::vector<double>>{}, runner);
+  std::vector<double> out;
+  for (size_t t = 0; t < scaled.size(); ++t) {
+    util::Accumulator acc;
+    for (size_t v = 0; v < videos.size(); ++v) acc.add(cells[v * scaled.size() + t].true_qoe);
+    out.push_back(acc.mean());
   }
-  return acc.mean();
+  return out;
 }
 
 // Linear interpolation of the scale needed to reach `target` QoE.
@@ -42,26 +51,36 @@ double scale_for_target(const std::vector<double>& scales, const std::vector<dou
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+
   net::ThroughputTrace base_trace = Experiments::traces()[6];  // ~2.7 Mbps broadband
   const std::vector<double> scales = {0.2, 0.35, 0.5, 0.65, 0.8, 1.0};
+  std::vector<net::ThroughputTrace> scaled;
+  for (double scale : scales) scaled.push_back(base_trace.scaled(scale));
 
-  abr::BbaAbr bba;
-  auto fugu = core::Sensei::make_fugu();
-  auto sensei_fugu = core::Sensei::make_sensei_fugu();
-  auto& pensieve = Experiments::pensieve();
+  // Warm the shared fixtures (videos, weights, trained Pensieve) before
+  // timing so the wall clock below measures the grid sweep alone.
+  Experiments::weights();
+  auto& trained_pensieve = Experiments::pensieve();
+
+  auto start = std::chrono::steady_clock::now();
+  auto q_sensei = qoe_per_scale([] { return core::Sensei::make_sensei_fugu(); }, scaled,
+                                true, runner);
+  auto q_pen = qoe_per_scale(
+      [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, scaled, false,
+      runner);
+  auto q_fugu = qoe_per_scale([] { return core::Sensei::make_fugu(); }, scaled, false,
+                              runner);
+  auto q_bba = qoe_per_scale([] { return std::make_unique<abr::BbaAbr>(); }, scaled, false,
+                             runner);
+  double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                       .count();
 
   std::printf("%s", util::banner("Figure 12b: QoE vs normalized bandwidth usage").c_str());
   util::Table table({"bandwidth scale", "SENSEI", "Pensieve", "Fugu", "BBA"});
-  std::vector<double> q_sensei, q_pen, q_fugu, q_bba;
-  for (double scale : scales) {
-    auto trace = base_trace.scaled(scale);
-    q_sensei.push_back(mean_qoe(*sensei_fugu, trace, true));
-    q_pen.push_back(mean_qoe(pensieve, trace, false));
-    q_fugu.push_back(mean_qoe(*fugu, trace, false));
-    q_bba.push_back(mean_qoe(bba, trace, false));
-    table.add_row(std::vector<double>{scale, q_sensei.back(), q_pen.back(), q_fugu.back(),
-                                      q_bba.back()},
+  for (size_t i = 0; i < scales.size(); ++i) {
+    table.add_row(std::vector<double>{scales[i], q_sensei[i], q_pen[i], q_fugu[i], q_bba[i]},
                   3);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -77,5 +96,8 @@ int main() {
   std::printf("bandwidth savings: %.1f%% vs Fugu, %.1f%% vs BBA "
               "(paper: 27.9%% vs Pensieve/Fugu, 32.1%% vs BBA)\n",
               (1.0 - s_sensei / s_fugu) * 100.0, (1.0 - s_sensei / s_bba) * 100.0);
+  std::printf("grid sweep: %zu sessions in %.2fs on %zu thread(s)\n",
+              4 * Experiments::videos().size() * scaled.size(), sweep_s,
+              runner.num_threads());
   return 0;
 }

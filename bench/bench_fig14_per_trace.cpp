@@ -1,8 +1,14 @@
 // Figure 14: QoE gain over BBA per throughput trace (ordered by increasing
 // average throughput), averaged across videos. Paper: SENSEI's advantage is
 // largest when throughput is low.
+//
+// Ported onto core::ExperimentRunner: the four (video × trace) grids fan
+// across the worker pool (`--threads N`, default hardware concurrency);
+// aggregation happens after the fact on bit-identical per-cell results.
+#include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/experiments.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -10,36 +16,41 @@
 using namespace sensei;
 using core::Experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+
   const auto& videos = Experiments::videos();
   const auto& traces = Experiments::traces();
-  const auto& weights = Experiments::weights();
+  Experiments::weights();
+  auto& trained_pensieve = Experiments::pensieve();
 
-  abr::BbaAbr bba;
-  auto fugu = core::Sensei::make_fugu();
-  auto sensei_fugu = core::Sensei::make_sensei_fugu();
-  auto& pensieve = Experiments::pensieve();
+  auto start = std::chrono::steady_clock::now();
+  auto grid_bba =
+      Experiments::run_grid([] { return std::make_unique<abr::BbaAbr>(); }, false, runner);
+  auto grid_sensei =
+      Experiments::run_grid([] { return core::Sensei::make_sensei_fugu(); }, true, runner);
+  auto grid_pen = Experiments::run_grid(
+      [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, false, runner);
+  auto grid_fugu =
+      Experiments::run_grid([] { return core::Sensei::make_fugu(); }, false, runner);
+  double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                       .count();
 
   std::printf("%s", util::banner(
                         "Figure 14: QoE gain over BBA per trace (ordered by mean "
                         "throughput)")
                         .c_str());
   util::Table table({"trace", "mean Kbps", "SENSEI %", "Pensieve %", "Fugu %"});
-  const std::vector<double> none;
   double low_half_gain = 0.0, high_half_gain = 0.0;
   for (size_t t = 0; t < traces.size(); ++t) {
     util::Accumulator g_sensei, g_pen, g_fugu;
     for (size_t v = 0; v < videos.size(); ++v) {
-      double q_bba = Experiments::run(videos[v], traces[t], bba, none).true_qoe;
+      size_t cell = v * traces.size() + t;
+      double q_bba = grid_bba[cell].true_qoe;
       if (q_bba < 0.02) continue;
-      g_sensei.add(
-          (Experiments::run(videos[v], traces[t], *sensei_fugu, weights[v]).true_qoe -
-           q_bba) /
-          q_bba * 100.0);
-      g_pen.add((Experiments::run(videos[v], traces[t], pensieve, none).true_qoe - q_bba) /
-                q_bba * 100.0);
-      g_fugu.add((Experiments::run(videos[v], traces[t], *fugu, none).true_qoe - q_bba) /
-                 q_bba * 100.0);
+      g_sensei.add((grid_sensei[cell].true_qoe - q_bba) / q_bba * 100.0);
+      g_pen.add((grid_pen[cell].true_qoe - q_bba) / q_bba * 100.0);
+      g_fugu.add((grid_fugu[cell].true_qoe - q_bba) / q_bba * 100.0);
     }
     if (t < traces.size() / 2) {
       low_half_gain += g_sensei.mean();
@@ -57,5 +68,7 @@ int main() {
               "(paper: more improvement when throughput is lower)\n",
               low_half_gain / (traces.size() / 2.0),
               high_half_gain / (traces.size() / 2.0));
+  std::printf("grid sweep: %zu sessions in %.2fs on %zu thread(s)\n",
+              4 * videos.size() * traces.size(), sweep_s, runner.num_threads());
   return 0;
 }

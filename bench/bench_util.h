@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,26 @@
 #include "util/table.h"
 
 namespace sensei::bench {
+
+// Parses `--threads N` for the grid benches. 0 (the default) lets
+// core::ExperimentRunner pick std::thread::hardware_concurrency(). A value
+// that is present but unparsable or non-positive aborts: falling back
+// silently would run with a different thread count than the caller asked
+// for, which defeats determinism comparisons keyed on `--threads`.
+inline size_t threads_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      char* end = nullptr;
+      long n = (i + 1 < argc) ? std::strtol(argv[i + 1], &end, 10) : 0;
+      if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "error: --threads requires a positive integer\n");
+        std::exit(2);
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+  return 0;
+}
 
 // Crowdsourced MOS for a set of renderings of one source video: runs a
 // simulated MTurk campaign against the pristine reference, as §4.1 does.

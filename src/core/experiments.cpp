@@ -139,6 +139,39 @@ Experiments::RunResult Experiments::run(const media::EncodedVideo& video,
   return result;
 }
 
+std::vector<Experiments::RunResult> Experiments::run_grid(
+    const std::vector<media::EncodedVideo>& videos,
+    const std::vector<net::ThroughputTrace>& traces, const PolicyFactory& make_policy,
+    const std::vector<std::vector<double>>& weights_per_video,
+    const ExperimentRunner& runner) {
+  if (!weights_per_video.empty() && weights_per_video.size() != videos.size()) {
+    throw std::invalid_argument("run_grid: weights_per_video must be empty or match videos");
+  }
+  // Touch every lazy singleton a task might need *before* fanning out:
+  // function-local statics are initialization-thread-safe, but warming them
+  // serially keeps the expensive builds (encoding, profiling) off the
+  // workers and the task costs uniform.
+  oracle();
+
+  const std::vector<double> none;
+  std::vector<RunResult> out(videos.size() * traces.size());
+  runner.for_each(out.size(), [&](size_t i) {
+    size_t v = i / traces.size();
+    size_t t = i % traces.size();
+    auto policy = make_policy();
+    const std::vector<double>& w = weights_per_video.empty() ? none : weights_per_video[v];
+    out[i] = run(videos[v], traces[t], *policy, w);
+  });
+  return out;
+}
+
+std::vector<Experiments::RunResult> Experiments::run_grid(const PolicyFactory& make_policy,
+                                                          bool use_weights,
+                                                          const ExperimentRunner& runner) {
+  return run_grid(videos(), traces(), make_policy,
+                  use_weights ? weights() : std::vector<std::vector<double>>{}, runner);
+}
+
 size_t Experiments::video_index(const std::string& name) {
   const auto& vs = videos();
   for (size_t i = 0; i < vs.size(); ++i) {

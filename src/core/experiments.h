@@ -5,12 +5,14 @@
 // binaries stay independent yet cheap.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "abr/bba.h"
 #include "abr/fugu.h"
 #include "abr/pensieve.h"
+#include "core/runner.h"
 #include "core/sensei.h"
 #include "crowd/ground_truth.h"
 #include "media/dataset.h"
@@ -49,6 +51,31 @@ class Experiments {
 
   // Index of a video inside videos() by name; throws if absent.
   static size_t video_index(const std::string& name);
+
+  // --- Parallel evaluation grids (§7.1 sweeps) -----------------------------
+
+  // Builds one policy instance per grid cell. Policies carry per-session
+  // mutable state (Pensieve episodes, Fugu predictors), so they must never be
+  // shared across workers; the factory makes the per-task ownership explicit.
+  // For trained policies, return a copy: e.g.
+  //   [] { return std::make_unique<abr::PensieveAbr>(Experiments::pensieve()); }
+  using PolicyFactory = std::function<std::unique_ptr<sim::AbrPolicy>()>;
+
+  // Fans the (video × trace) product over `runner` and returns results in
+  // row-major order: cell (v, t) lands at index v * traces.size() + t,
+  // bit-identical to the serial double loop regardless of thread count.
+  // `weights_per_video` is either empty (weight-unaware ABRs) or one
+  // sensitivity vector per video.
+  static std::vector<RunResult> run_grid(
+      const std::vector<media::EncodedVideo>& videos,
+      const std::vector<net::ThroughputTrace>& traces, const PolicyFactory& make_policy,
+      const std::vector<std::vector<double>>& weights_per_video,
+      const ExperimentRunner& runner);
+
+  // Convenience overload over the full evaluation sets: videos() × traces(),
+  // with use_weights selecting the profiled weights() or none.
+  static std::vector<RunResult> run_grid(const PolicyFactory& make_policy,
+                                         bool use_weights, const ExperimentRunner& runner);
 };
 
 }  // namespace sensei::core

@@ -1,0 +1,141 @@
+#include "core/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace sensei::core {
+
+// A published batch of tasks. `cursor` is the dynamic scheduler: each worker
+// (and the calling thread) claims the next unclaimed index until the range is
+// exhausted. `done` counts finished tasks so completion can be signalled
+// exactly once. Jobs are shared_ptr-owned: a worker that wakes late keeps the
+// job alive until it observes the exhausted cursor, even if the caller has
+// already returned from for_each.
+struct ExperimentRunner::Job {
+  size_t num_tasks = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+};
+
+namespace {
+
+// splitmix64 finalizer — decorrelates consecutive task indices into
+// independent seeds (the recommended seeder for xoshiro streams).
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t ExperimentRunner::task_seed(uint64_t base_seed, size_t task_index) {
+  return mix64(base_seed ^ mix64(static_cast<uint64_t>(task_index)));
+}
+
+ExperimentRunner::ExperimentRunner(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  // The calling thread participates in draining the job, so spawn one fewer
+  // worker than the requested parallelism; N==1 needs no pool at all.
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ExperimentRunner::execute(Job& job) const {
+  while (true) {
+    size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.num_tasks) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.first_error) job.first_error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.num_tasks) {
+      // Last task overall: wake the caller (which may be parked in for_each).
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ExperimentRunner::worker_loop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      job = job_;
+    }
+    execute(*job);
+  }
+}
+
+void ExperimentRunner::for_each(size_t num_tasks,
+                                const std::function<void(size_t)>& fn) const {
+  if (num_tasks == 0) return;
+
+  auto job = std::make_shared<Job>();
+  job->num_tasks = num_tasks;
+  job->fn = &fn;
+
+  if (workers_.empty()) {
+    // Serial baseline: no publication, no synchronization beyond the atomics.
+    execute(*job);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++job_generation_;
+    }
+    job_ready_.notify_all();
+    // The caller helps drain the queue rather than idling.
+    execute(*job);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_done_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->num_tasks;
+      });
+      // Un-publish so late-waking workers never pick this job up again; their
+      // shared_ptr copies keep it alive while they observe the empty cursor.
+      job_.reset();
+    }
+  }
+
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+void ExperimentRunner::for_each_seeded(
+    size_t num_tasks, uint64_t base_seed,
+    const std::function<void(size_t, util::Rng&)>& fn) const {
+  for_each(num_tasks, [&](size_t i) {
+    util::Rng rng(task_seed(base_seed, i));
+    fn(i, rng);
+  });
+}
+
+}  // namespace sensei::core

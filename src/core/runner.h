@@ -1,0 +1,90 @@
+// Deterministic thread-pooled fan-out for the evaluation grids of §7.1.
+//
+// The (video × trace × policy) sweeps behind every figure are embarrassingly
+// parallel: each cell is an independent, deterministic session simulation.
+// ExperimentRunner owns a persistent pool of workers and distributes task
+// indices dynamically (atomic cursor), while results are always written at
+// their task index — so the output of a parallel run is bit-identical to a
+// serial run regardless of scheduling, worker count, or machine.
+//
+// Rules for bit-identical parallelism:
+//  - a task may only write state owned by its own index (the runner's map/
+//    for_each contract);
+//  - any randomness must come from the task-seeded Rng of for_each_seeded
+//    (derived from (base_seed, task_index), never from the worker); and
+//  - shared inputs (videos, traces, trained policies) are read-only; per-task
+//    mutable collaborators (policies, players) are constructed inside the
+//    task. Experiments::run_grid encodes this via a policy factory.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sensei::core {
+
+class ExperimentRunner {
+ public:
+  // num_threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  // With num_threads == 1 tasks run inline on the calling thread: the serial
+  // baseline that parallel runs must match bit-for-bit.
+  explicit ExperimentRunner(size_t num_threads = 0);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  // Executes fn(i) for every i in [0, num_tasks), blocking until all tasks
+  // finish. Tasks are claimed dynamically, so long tasks do not straggle
+  // behind short ones. If any task throws, the first exception (in completion
+  // order) is rethrown here after every worker has drained.
+  void for_each(size_t num_tasks, const std::function<void(size_t)>& fn) const;
+
+  // Seeded variant: task i receives an Rng whose stream depends only on
+  // (base_seed, i) — never on the executing worker — so stochastic tasks
+  // stay reproducible under any schedule.
+  void for_each_seeded(size_t num_tasks, uint64_t base_seed,
+                       const std::function<void(size_t, util::Rng&)>& fn) const;
+
+  // out[i] = fn(i). The per-index write is the only shared-state mutation,
+  // which is what makes parallel output order-independent.
+  template <typename Fn>
+  auto map(size_t num_tasks, Fn&& fn) const
+      -> std::vector<decltype(fn(static_cast<size_t>(0)))> {
+    std::vector<decltype(fn(static_cast<size_t>(0)))> out(num_tasks);
+    for_each(num_tasks, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  // The seed handed to task `task_index` under `base_seed` (splitmix64 mix;
+  // exposed so tests can pin the exact stream).
+  static uint64_t task_seed(uint64_t base_seed, size_t task_index);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void execute(Job& job) const;
+
+  size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // One job at a time: for_each publishes it, workers drain it, the caller
+  // blocks until the last worker signals completion.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable job_ready_;
+  mutable std::condition_variable job_done_;
+  mutable std::shared_ptr<Job> job_;
+  mutable uint64_t job_generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sensei::core

@@ -1,0 +1,72 @@
+// core::Experiments caching invariants: the lazily built evaluation fixtures
+// must hand out stable references (bench binaries and the parallel grid keep
+// pointers into them across many calls) and fail loudly on unknown lookups.
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sensei {
+namespace {
+
+using core::Experiments;
+
+TEST(ExperimentsTest, VideosAreCachedAndStable) {
+  const auto& first = Experiments::videos();
+  const auto& second = Experiments::videos();
+  EXPECT_EQ(&first, &second);
+  // Table 1's 16-video test set, built exactly once.
+  EXPECT_EQ(first.size(), 16u);
+  EXPECT_EQ(first.data(), second.data());
+}
+
+TEST(ExperimentsTest, TracesAreCachedAndStable) {
+  const auto& first = Experiments::traces();
+  const auto& second = Experiments::traces();
+  EXPECT_EQ(&first, &second);
+  // §7.1's 10 evaluation traces, ordered by mean throughput.
+  EXPECT_EQ(first.size(), 10u);
+  for (size_t t = 1; t < first.size(); ++t) {
+    EXPECT_LE(first[t - 1].mean_kbps(), first[t].mean_kbps());
+  }
+}
+
+TEST(ExperimentsTest, TrainTracesAreDisjointFromEvaluationTraces) {
+  const auto& train = Experiments::train_traces();
+  EXPECT_EQ(&train, &Experiments::train_traces());
+  for (const auto& tr : train) {
+    for (const auto& ev : Experiments::traces()) {
+      EXPECT_NE(tr.name(), ev.name());
+    }
+  }
+}
+
+TEST(ExperimentsTest, OracleIsASingleton) {
+  EXPECT_EQ(&Experiments::oracle(), &Experiments::oracle());
+}
+
+TEST(ExperimentsTest, VideoIndexRoundTripsEveryVideo) {
+  const auto& videos = Experiments::videos();
+  for (size_t v = 0; v < videos.size(); ++v) {
+    EXPECT_EQ(Experiments::video_index(videos[v].source().name()), v);
+  }
+}
+
+TEST(ExperimentsTest, VideoIndexThrowsOnUnknownName) {
+  EXPECT_THROW(Experiments::video_index("no-such-video"), std::runtime_error);
+  EXPECT_THROW(Experiments::video_index(""), std::runtime_error);
+}
+
+TEST(ExperimentsTest, RunIsDeterministicForAFixedCell) {
+  const auto& video = Experiments::videos()[0];
+  const auto& trace = Experiments::traces()[0];
+  abr::BbaAbr bba1, bba2;
+  auto a = Experiments::run(video, trace, bba1, {});
+  auto b = Experiments::run(video, trace, bba2, {});
+  EXPECT_EQ(a.true_qoe, b.true_qoe);
+  EXPECT_EQ(a.session.chunks().size(), b.session.chunks().size());
+}
+
+}  // namespace
+}  // namespace sensei
