@@ -53,6 +53,7 @@ double scale_for_target(const std::vector<double>& scales, const std::vector<dou
 
 int main(int argc, char** argv) {
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+  const abr::PlannerKind planner = bench::planner_arg(argc, argv);
 
   net::ThroughputTrace base_trace = Experiments::traces()[6];  // ~2.7 Mbps broadband
   const std::vector<double> scales = {0.2, 0.35, 0.5, 0.65, 0.8, 1.0};
@@ -65,13 +66,14 @@ int main(int argc, char** argv) {
   auto& trained_pensieve = Experiments::pensieve();
 
   auto start = std::chrono::steady_clock::now();
-  auto q_sensei = qoe_per_scale([] { return core::Sensei::make_sensei_fugu(); }, scaled,
-                                true, runner);
+  auto q_sensei = qoe_per_scale(
+      [planner] { return core::Sensei::make_sensei_fugu({}, planner); }, scaled, true,
+      runner);
   auto q_pen = qoe_per_scale(
       [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, scaled, false,
       runner);
-  auto q_fugu = qoe_per_scale([] { return core::Sensei::make_fugu(); }, scaled, false,
-                              runner);
+  auto q_fugu = qoe_per_scale(
+      [planner] { return core::Sensei::make_fugu({}, planner); }, scaled, false, runner);
   auto q_bba = qoe_per_scale([] { return std::make_unique<abr::BbaAbr>(); }, scaled, false,
                              runner);
   double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

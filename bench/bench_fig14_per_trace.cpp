@@ -18,6 +18,7 @@ using core::Experiments;
 
 int main(int argc, char** argv) {
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+  const abr::PlannerKind planner = bench::planner_arg(argc, argv);
 
   const auto& videos = Experiments::videos();
   const auto& traces = Experiments::traces();
@@ -27,12 +28,12 @@ int main(int argc, char** argv) {
   auto start = std::chrono::steady_clock::now();
   auto grid_bba =
       Experiments::run_grid([] { return std::make_unique<abr::BbaAbr>(); }, false, runner);
-  auto grid_sensei =
-      Experiments::run_grid([] { return core::Sensei::make_sensei_fugu(); }, true, runner);
+  auto grid_sensei = Experiments::run_grid(
+      [planner] { return core::Sensei::make_sensei_fugu({}, planner); }, true, runner);
   auto grid_pen = Experiments::run_grid(
       [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, false, runner);
-  auto grid_fugu =
-      Experiments::run_grid([] { return core::Sensei::make_fugu(); }, false, runner);
+  auto grid_fugu = Experiments::run_grid(
+      [planner] { return core::Sensei::make_fugu({}, planner); }, false, runner);
   double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                        .count();
 

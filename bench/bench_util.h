@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "abr/planner.h"
 #include "crowd/campaign.h"
 #include "crowd/ground_truth.h"
 #include "media/encoder.h"
@@ -16,6 +17,21 @@
 #include "util/table.h"
 
 namespace sensei::bench {
+
+// Parses `--planner dp|exhaustive` for the Fugu-based grid benches. The two
+// engines produce identical decisions (enforced by the equivalence tests),
+// so bench output must not change with this flag — only wall time does.
+inline abr::PlannerKind planner_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--planner") == 0 && i + 1 < argc) {
+      if (std::strcmp(argv[i + 1], "dp") == 0) return abr::PlannerKind::kDp;
+      if (std::strcmp(argv[i + 1], "exhaustive") == 0) return abr::PlannerKind::kExhaustive;
+      std::fprintf(stderr, "error: --planner expects dp or exhaustive\n");
+      std::exit(2);
+    }
+  }
+  return abr::PlannerKind::kDp;
+}
 
 // Parses `--threads N` for the grid benches. 0 (the default) lets
 // core::ExperimentRunner pick std::thread::hardware_concurrency(). A value

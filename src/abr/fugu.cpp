@@ -1,138 +1,61 @@
 #include "abr/fugu.h"
 
-#include <algorithm>
-
 namespace sensei::abr {
 
-namespace {
-
-// Splits a step's expected quality into its stall-free part (weighted by w)
-// and the stall penalty part (weighted by max(w, 1)): a low sensitivity
-// weight discounts the *quality* of a chunk, never the pain of stalling.
-double weighted_step_quality(double w, double expected_q, double expected_q_nostall) {
-  double stall_part = expected_q - expected_q_nostall;  // <= 0
-  return w * expected_q_nostall + std::max(w, 1.0) * stall_part;
-}
-
-}  // namespace
-
 FuguAbr::FuguAbr(FuguConfig config)
-    : config_(config), predictor_(config.predictor_window) {}
+    : config_(std::move(config)),
+      predictor_(config_.predictor_window),
+      planner_(make_planner(config_.planner, config_.dp_buffer_quantum_s)) {}
+
+FuguAbr::FuguAbr(const FuguAbr& other)
+    : config_(other.config_),
+      predictor_(other.predictor_),
+      planner_(make_planner(other.config_.planner, other.config_.dp_buffer_quantum_s)) {}
+
+FuguAbr& FuguAbr::operator=(const FuguAbr& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    predictor_ = other.predictor_;
+    planner_ = make_planner(config_.planner, config_.dp_buffer_quantum_s);
+  }
+  return *this;
+}
 
 void FuguAbr::begin_session(const media::EncodedVideo& video) {
   (void)video;
   predictor_.reset();
 }
 
-double FuguAbr::plan(const sim::AbrObservation& obs,
-                     const std::vector<net::ThroughputScenario>& scenarios, size_t depth,
-                     size_t chunk, std::vector<PlanState>& states,
-                     double prev_weighted_sum) {
-  const auto& video = *obs.video;
-  const size_t levels = video.ladder().level_count();
-  const double tau = video.chunk_duration_s();
-
-  if (depth >= config_.horizon || chunk >= obs.num_chunks) {
-    // Leaf: record if this is the best complete plan.
-    if (prev_weighted_sum > best_value_) {
-      best_value_ = prev_weighted_sum;
-      best_first_level_ = plan_first_level_;
-      best_first_rebuffer_ = plan_first_rebuffer_;
-    }
-    if (plan_first_rebuffer_ == 0.0 && prev_weighted_sum > best_nostall_value_) {
-      best_nostall_value_ = prev_weighted_sum;
-      best_nostall_level_ = plan_first_level_;
-    }
-    return prev_weighted_sum;
-  }
-
-  // Weight for this horizon step: 1 when weight-unaware or none provided.
-  double w = 1.0;
-  if (config_.use_weights && depth < obs.future_weights.size()) {
-    w = 1.0 + config_.weight_shrinkage * (obs.future_weights[depth] - 1.0);
-  }
-
-  const std::vector<double> no_stall = {0.0};
-  const std::vector<double>& stall_options =
-      depth == 0 ? config_.rebuffer_options : no_stall;
-
-  double best = -1e18;
-  for (size_t level = 0; level < levels; ++level) {
-    const auto& rep = video.rep(chunk, level);
-    for (double scheduled : stall_options) {
-      // Advance each scenario independently; expectation over scenarios.
-      std::vector<PlanState> next_states = states;
-      double expected_q = 0.0;
-      double expected_q_nostall = 0.0;
-      for (size_t s = 0; s < scenarios.size(); ++s) {
-        double kbps = std::max(1.0, scenarios[s].kbps);
-        double dl = rep.size_bytes * 8.0 / 1000.0 / kbps + 0.08;
-        PlanState& st = next_states[s];
-        double stall = 0.0;
-        if (dl > st.buffer_s) {
-          stall = dl - st.buffer_s;
-          st.buffer_s = 0.0;
-        } else {
-          st.buffer_s -= dl;
-        }
-        if (scheduled > 0.0) {
-          st.buffer_s += scheduled;
-          stall += scheduled;
-        }
-        st.buffer_s = std::min(st.buffer_s + tau, 30.0);
-        double q = qoe::chunk_quality(rep.visual_quality, stall, st.prev_vq, config_.chunk);
-        double q_nostall =
-            qoe::chunk_quality(rep.visual_quality, 0.0, st.prev_vq, config_.chunk);
-        st.prev_vq = rep.visual_quality;
-        expected_q += scenarios[s].probability * q;
-        expected_q_nostall += scenarios[s].probability * q_nostall;
-      }
-
-      if (depth == 0) {
-        plan_first_level_ = level;
-        plan_first_rebuffer_ = scheduled;
-      }
-      // Stall terms are never discounted below neutral: a weight below 1
-      // means the viewer cares less about *quality* there, not that stalling
-      // is free. Decompose expected_q into its stall-free part and the stall
-      // penalty part, and weight them separately.
-      double value = plan(obs, scenarios, depth + 1, chunk + 1, next_states,
-                          prev_weighted_sum + weighted_step_quality(w, expected_q,
-                                                                    expected_q_nostall));
-      best = std::max(best, value);
-    }
-  }
-  return best;
-}
-
 sim::AbrDecision FuguAbr::decide(const sim::AbrObservation& obs) {
   if (obs.last_throughput_kbps > 0.0) predictor_.observe(obs.last_throughput_kbps);
-  auto scenarios = predictor_.scenarios();
+  predictor_.scenarios_into(scenario_buf_);
 
-  std::vector<PlanState> states(scenarios.size());
   double prev_vq = obs.next_chunk > 0
                        ? obs.video->visual_quality(obs.next_chunk - 1, obs.last_level)
                        : obs.video->visual_quality(0, 0);
-  for (auto& st : states) {
-    st.buffer_s = obs.buffer_s;
-    st.prev_vq = prev_vq;
-  }
 
-  best_value_ = -1e18;
-  best_nostall_value_ = -1e18;
-  best_first_level_ = 0;
-  best_nostall_level_ = 0;
-  best_first_rebuffer_ = 0.0;
-  plan(obs, scenarios, 0, obs.next_chunk, states, 0.0);
+  PlanQuery q;
+  q.obs = &obs;
+  q.scenarios = scenario_buf_.data();
+  q.num_scenarios = scenario_buf_.size();
+  q.horizon = config_.horizon;
+  q.rebuffer_options = config_.rebuffer_options.data();
+  q.num_rebuffer_options = config_.rebuffer_options.size();
+  q.use_weights = config_.use_weights;
+  q.weight_shrinkage = config_.weight_shrinkage;
+  q.chunk = config_.chunk;
+  q.prev_visual_quality = prev_vq;
+
+  PlanResult r = planner_->plan(q);
 
   sim::AbrDecision d;
-  if (best_first_rebuffer_ > 0.0 &&
-      best_value_ < best_nostall_value_ + config_.rebuffer_margin) {
-    d.level = best_nostall_level_;
+  if (r.best_rebuffer_s > 0.0 &&
+      r.best_value < r.nostall_value + config_.rebuffer_margin) {
+    d.level = r.nostall_level;
     d.scheduled_rebuffer_s = 0.0;
   } else {
-    d.level = best_first_level_;
-    d.scheduled_rebuffer_s = best_first_rebuffer_;
+    d.level = r.best_level;
+    d.scheduled_rebuffer_s = r.best_rebuffer_s;
   }
   return d;
 }

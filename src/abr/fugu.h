@@ -7,8 +7,14 @@
 //
 // The weighted variant (Eq. 4) and the scheduled-rebuffering action are
 // added by SENSEI-Fugu in src/core; this class keeps the vanilla objective.
+//
+// The lookahead itself is delegated to abr::Planner (src/abr/planner.h):
+// the memoized DpPlanner by default, or the reference ExhaustivePlanner
+// behind `FuguConfig::planner` — both return identical decisions (see
+// tests/test_planner_equivalence.cpp); the DP is simply much faster.
 #pragma once
 
+#include "abr/planner.h"
 #include "net/predictor.h"
 #include "qoe/chunk_quality.h"
 #include "sim/player.h"
@@ -33,41 +39,36 @@ struct FuguConfig {
   // best stall-free plan by this margin. Throughput scenarios overstate
   // stall risk often enough that an un-gated rebuffer action loses QoE.
   double rebuffer_margin = 0.35;
+  // Which lookahead engine realizes the objective. kDp (default) is the
+  // memoized dynamic program; kExhaustive is the reference recursion.
+  PlannerKind planner = PlannerKind::kDp;
+  // Buffer discretization for the DP's state merging. 0 (default) merges
+  // only bit-identical states, guaranteeing decisions identical to the
+  // exhaustive planner; > 0 enables Puffer-style lossy bucketing
+  // (unit_buf_length), appropriate for horizons beyond ~8 chunks.
+  double dp_buffer_quantum_s = 0.0;
 };
 
 class FuguAbr : public sim::AbrPolicy {
  public:
   explicit FuguAbr(FuguConfig config = FuguConfig());
+  FuguAbr(const FuguAbr& other);
+  FuguAbr& operator=(const FuguAbr& other);
 
   const char* name() const override { return config_.use_weights ? "Sensei-Fugu" : "Fugu"; }
   void begin_session(const media::EncodedVideo& video) override;
   sim::AbrDecision decide(const sim::AbrObservation& obs) override;
 
   const FuguConfig& config() const { return config_; }
+  const Planner& planner() const { return *planner_; }
 
  private:
-  struct PlanState {
-    double buffer_s = 0.0;
-    double prev_vq = 0.0;
-  };
-
-  // Expected objective of choosing `level` (+ scheduled stall on the first
-  // step) then continuing greedily-optimal via recursion.
-  double plan(const sim::AbrObservation& obs,
-              const std::vector<net::ThroughputScenario>& scenarios, size_t depth,
-              size_t chunk, std::vector<PlanState>& states, double prev_weighted_sum);
-
   FuguConfig config_;
   net::ScenarioPredictor predictor_;
-  // Best first action found by the last plan() walk, tracked separately for
-  // stall-free plans so the rebuffer margin can be applied.
-  size_t best_first_level_ = 0;
-  double best_first_rebuffer_ = 0.0;
-  double best_value_ = 0.0;
-  size_t best_nostall_level_ = 0;
-  double best_nostall_value_ = 0.0;
-  size_t plan_first_level_ = 0;
-  double plan_first_rebuffer_ = 0.0;
+  std::unique_ptr<Planner> planner_;
+  // Scenario buffer refilled in place every decision (no per-decide heap
+  // allocation once warm).
+  std::vector<net::ThroughputScenario> scenario_buf_;
 };
 
 }  // namespace sensei::abr

@@ -19,15 +19,12 @@ struct DpContext {
   size_t buffer_buckets = 0;
   double tau = 4.0;
 
-  // Memoized value function and best action, indexed by
-  // ((chunk * time_buckets + t) * buffer_buckets + b) * levels + last_level.
-  std::vector<float> value;
-  std::vector<uint8_t> visited;
-  std::vector<uint16_t> best_action;  // level * stall_count + stall_index
-
-  // Download-time cache: (chunk * levels + level) * time_buckets + t.
-  std::vector<float> dl_cache;
-  std::vector<uint8_t> dl_cached;
+  // Memo tables (value function, best action, download-time cache) live in
+  // the caller-provided scratch so repeated plans reuse one allocation.
+  // Indexing: ((chunk * time_buckets + t) * buffer_buckets + b) * levels +
+  // last_level for states; (chunk * levels + level) * time_buckets + t for
+  // the download cache.
+  OfflineScratch* s = nullptr;
 
   size_t state_index(size_t chunk, size_t t, size_t b, size_t last) const {
     return ((chunk * time_buckets + t) * buffer_buckets + b) * levels + last;
@@ -35,13 +32,13 @@ struct DpContext {
 
   double download_time(size_t chunk, size_t level, size_t t_bucket) {
     size_t idx = (chunk * levels + level) * time_buckets + t_bucket;
-    if (!dl_cached[idx]) {
+    if (!s->dl_cached[idx]) {
       double t = static_cast<double>(t_bucket) * config->time_quantum_s;
-      dl_cache[idx] = static_cast<float>(
+      s->dl_cache[idx] = static_cast<float>(
           trace->download_time_s(video->size_bytes(chunk, level), t));
-      dl_cached[idx] = 1;
+      s->dl_cached[idx] = 1;
     }
-    return dl_cache[idx];
+    return s->dl_cache[idx];
   }
 
   size_t clamp_time(double t) const {
@@ -63,7 +60,7 @@ struct DpContext {
 double solve(DpContext& ctx, size_t chunk, size_t t_bucket, size_t b_bucket, size_t last) {
   if (chunk >= ctx.n) return 0.0;
   size_t idx = ctx.state_index(chunk, t_bucket, b_bucket, last);
-  if (ctx.visited[idx]) return ctx.value[idx];
+  if (ctx.s->visited[idx]) return ctx.s->value[idx];
 
   const OfflineConfig& cfg = *ctx.config;
   const size_t stall_count = cfg.rebuffer_options.size();
@@ -116,9 +113,9 @@ double solve(DpContext& ctx, size_t chunk, size_t t_bucket, size_t b_bucket, siz
     }
   }
 
-  ctx.value[idx] = static_cast<float>(best);
-  ctx.best_action[idx] = best_act;
-  ctx.visited[idx] = 1;
+  ctx.s->value[idx] = static_cast<float>(best);
+  ctx.s->best_action[idx] = best_act;
+  ctx.s->visited[idx] = 1;
   return best;
 }
 
@@ -128,11 +125,20 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
                                 const net::ThroughputTrace& trace,
                                 const std::vector<double>& weights,
                                 const OfflineConfig& config) {
+  OfflineScratch scratch;
+  return plan_offline(video, trace, weights, config, scratch);
+}
+
+sim::SessionResult plan_offline(const media::EncodedVideo& video,
+                                const net::ThroughputTrace& trace,
+                                const std::vector<double>& weights,
+                                const OfflineConfig& config, OfflineScratch& scratch) {
   if (video.num_chunks() == 0) throw std::runtime_error("offline: empty video");
   if (config.rebuffer_options.empty() || config.rebuffer_options[0] != 0.0)
     throw std::runtime_error("offline: rebuffer options must start with 0");
 
   DpContext ctx;
+  ctx.s = &scratch;
   ctx.video = &video;
   ctx.trace = &trace;
   ctx.weights = &weights;
@@ -144,12 +150,14 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
   ctx.time_buckets = static_cast<size_t>(max_time / config.time_quantum_s) + 2;
   ctx.buffer_buckets = static_cast<size_t>(config.max_buffer_s / config.buffer_quantum_s) + 2;
 
+  // assign() keeps capacity: with a shared scratch, repeat plans of
+  // same-shaped sessions allocate nothing.
   size_t states = ctx.n * ctx.time_buckets * ctx.buffer_buckets * ctx.levels;
-  ctx.value.assign(states, 0.0f);
-  ctx.visited.assign(states, 0);
-  ctx.best_action.assign(states, 0);
-  ctx.dl_cache.assign(ctx.n * ctx.levels * ctx.time_buckets, 0.0f);
-  ctx.dl_cached.assign(ctx.n * ctx.levels * ctx.time_buckets, 0);
+  scratch.value.assign(states, 0.0f);
+  scratch.visited.assign(states, 0);
+  scratch.best_action.assign(states, 0);
+  scratch.dl_cache.assign(ctx.n * ctx.levels * ctx.time_buckets, 0.0f);
+  scratch.dl_cached.assign(ctx.n * ctx.levels * ctx.time_buckets, 0);
 
   solve(ctx, 0, 0, 0, 0);
 
@@ -166,7 +174,7 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
     // backward pass never reached; solve them on demand.
     solve(ctx, chunk, t_bucket, b_bucket, last);
     size_t idx = ctx.state_index(chunk, t_bucket, b_bucket, last);
-    uint16_t act = ctx.best_action[idx];
+    uint16_t act = ctx.s->best_action[idx];
     size_t level = act / stall_count;
     double scheduled = chunk == 0 ? 0.0 : config.rebuffer_options[act % stall_count];
 

@@ -10,6 +10,7 @@
 // QoE objective they maximize.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/trace.h"
@@ -29,6 +30,19 @@ struct OfflineConfig {
   std::vector<double> rebuffer_options = {0.0};
 };
 
+// Reusable workspace for plan_offline. The memo tables span
+// chunks x time-buckets x buffer-buckets x levels (tens of MB for long
+// videos); batch callers that plan many sessions — Figure 6 / 18 style
+// sweeps — pass one scratch across calls so each session reuses the
+// high-water allocation instead of reallocating and faulting fresh pages.
+struct OfflineScratch {
+  std::vector<float> value;
+  std::vector<uint8_t> visited;
+  std::vector<uint16_t> best_action;
+  std::vector<float> dl_cache;
+  std::vector<uint8_t> dl_cached;
+};
+
 // Plans bitrates (and stalls) for `video` over `trace` maximizing
 // sum_i w_i q_i. Pass all-ones weights for the sensitivity-unaware variant.
 // Returns the resulting session as if it were streamed.
@@ -36,5 +50,11 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
                                 const net::ThroughputTrace& trace,
                                 const std::vector<double>& weights,
                                 const OfflineConfig& config = OfflineConfig());
+
+// Scratch-reusing overload for batch planners.
+sim::SessionResult plan_offline(const media::EncodedVideo& video,
+                                const net::ThroughputTrace& trace,
+                                const std::vector<double>& weights,
+                                const OfflineConfig& config, OfflineScratch& scratch);
 
 }  // namespace sensei::abr

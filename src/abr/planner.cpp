@@ -1,0 +1,566 @@
+#include "abr/planner.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sensei::abr {
+
+namespace {
+
+// 30 s buffer cap shared by the planners and the player simulator.
+constexpr double kMaxBufferS = 30.0;
+
+// Slack added to the admissible bound before pruning: absorbs rounding
+// differences between the bound's fold order and the true evaluation, so a
+// subtree that could still *tie* the incumbent is never dropped and the
+// reference tie-break is preserved.
+constexpr double kBoundSlack = 1e-9;
+
+inline uint64_t splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t bits_of(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExhaustivePlanner: the original Fugu recursion, kept as the equivalence
+// baseline. Deliberately NOT optimized (per-node state-vector copies stay):
+// it is the "before" side of bench_planner and the reference the DP must
+// reproduce bit-for-bit.
+// ---------------------------------------------------------------------------
+
+PlanResult ExhaustivePlanner::plan(const PlanQuery& q) {
+  std::vector<PlanState> states(q.num_scenarios);
+  for (auto& st : states) {
+    st.buffer_s = q.obs->buffer_s;
+    st.prev_vq = q.prev_visual_quality;
+  }
+  result_ = PlanResult{};
+  plan_first_level_ = 0;
+  plan_first_rebuffer_ = 0.0;
+  walk(q, 0, q.obs->next_chunk, states, 0.0);
+  return result_;
+}
+
+double ExhaustivePlanner::walk(const PlanQuery& q, size_t depth, size_t chunk,
+                               std::vector<PlanState>& states, double prev_weighted_sum) {
+  const auto& video = *q.obs->video;
+  const size_t levels = video.ladder().level_count();
+  const double tau = video.chunk_duration_s();
+
+  if (depth >= q.horizon || chunk >= q.obs->num_chunks) {
+    // Leaf: record if this is the best complete plan.
+    if (prev_weighted_sum > result_.best_value) {
+      result_.best_value = prev_weighted_sum;
+      result_.best_level = plan_first_level_;
+      result_.best_rebuffer_s = plan_first_rebuffer_;
+    }
+    if (plan_first_rebuffer_ == 0.0 && prev_weighted_sum > result_.nostall_value) {
+      result_.nostall_value = prev_weighted_sum;
+      result_.nostall_level = plan_first_level_;
+    }
+    return prev_weighted_sum;
+  }
+
+  // Weight for this horizon step: 1 when weight-unaware or none provided.
+  double w = 1.0;
+  if (q.use_weights && depth < q.obs->future_weights.size()) {
+    w = 1.0 + q.weight_shrinkage * (q.obs->future_weights[depth] - 1.0);
+  }
+
+  static const double no_stall[1] = {0.0};
+  const double* stall_options = depth == 0 ? q.rebuffer_options : no_stall;
+  const size_t stall_count = depth == 0 ? q.num_rebuffer_options : 1;
+
+  double best = -1e18;
+  for (size_t level = 0; level < levels; ++level) {
+    const auto& rep = video.rep(chunk, level);
+    for (size_t si = 0; si < stall_count; ++si) {
+      double scheduled = stall_options[si];
+      // Advance each scenario independently; expectation over scenarios.
+      std::vector<PlanState> next_states = states;
+      double expected_q = 0.0;
+      double expected_q_nostall = 0.0;
+      for (size_t s = 0; s < q.num_scenarios; ++s) {
+        double kbps = std::max(1.0, q.scenarios[s].kbps);
+        double dl = rep.size_bytes * 8.0 / 1000.0 / kbps + 0.08;
+        PlanState& st = next_states[s];
+        double stall = 0.0;
+        if (dl > st.buffer_s) {
+          stall = dl - st.buffer_s;
+          st.buffer_s = 0.0;
+        } else {
+          st.buffer_s -= dl;
+        }
+        if (scheduled > 0.0) {
+          st.buffer_s += scheduled;
+          stall += scheduled;
+        }
+        st.buffer_s = std::min(st.buffer_s + tau, kMaxBufferS);
+        double qv = qoe::chunk_quality(rep.visual_quality, stall, st.prev_vq, q.chunk);
+        double q_nostall =
+            qoe::chunk_quality(rep.visual_quality, 0.0, st.prev_vq, q.chunk);
+        st.prev_vq = rep.visual_quality;
+        expected_q += q.scenarios[s].probability * qv;
+        expected_q_nostall += q.scenarios[s].probability * q_nostall;
+      }
+
+      if (depth == 0) {
+        plan_first_level_ = level;
+        plan_first_rebuffer_ = scheduled;
+      }
+      // Stall terms are never discounted below neutral: a weight below 1
+      // means the viewer cares less about *quality* there, not that stalling
+      // is free. Decompose expected_q into its stall-free part and the stall
+      // penalty part, and weight them separately.
+      double value = walk(q, depth + 1, chunk + 1, next_states,
+                          prev_weighted_sum + weighted_step_quality(w, expected_q,
+                                                                    expected_q_nostall));
+      best = std::max(best, value);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// DpPlanner
+// ---------------------------------------------------------------------------
+
+DpPlanner::DpPlanner(double buffer_quantum_s) : quantum_(buffer_quantum_s) {}
+
+size_t DpPlanner::arena_bytes() const {
+  size_t b = 0;
+  for (int i = 0; i < 2; ++i) {
+    b += bufs_[i].capacity() * sizeof(double);
+    b += recs_[i].capacity() * sizeof(StateRec);
+  }
+  b += (dl_.capacity() + vq_.capacity() + qn_.capacity() + eqn_.capacity() +
+        w_.capacity() + root_qn_.capacity() + root_eqn_.capacity() + h_.capacity() +
+        child_buf_.capacity() + rollout_[0].capacity() + rollout_[1].capacity()) *
+       sizeof(double);
+  b += child_key_.capacity() * sizeof(uint64_t) + path_.capacity() * sizeof(uint32_t);
+  b += stamp_.capacity() * sizeof(uint64_t) + slot_.capacity() * sizeof(uint32_t);
+  return b;
+}
+
+void DpPlanner::ensure_hash_capacity(size_t min_slots) {
+  size_t want = 64;
+  while (want < min_slots) want <<= 1;
+  if (stamp_.size() < want) {
+    stamp_.assign(want, 0);
+    slot_.assign(want, 0);
+    round_ = 0;  // fresh stamps are all 0; rounds restart above it
+  }
+}
+
+// Fills the per-decision tables. Every expression mirrors the exhaustive
+// walk operation-for-operation so the folded results are bit-identical; the
+// difference is that they are evaluated once per (depth, level[, prev])
+// instead of at every tree node.
+void DpPlanner::precompute(const PlanQuery& q, size_t depth_count) {
+  const auto& video = *q.obs->video;
+  const size_t L = video.ladder().level_count();
+  const size_t S = q.num_scenarios;
+
+  dl_.resize(depth_count * L * S);
+  vq_.resize(depth_count * L);
+  qn_.resize(depth_count * L * L);
+  eqn_.resize(depth_count * L * L);
+  w_.resize(depth_count);
+  root_qn_.resize(L);
+  root_eqn_.resize(L);
+  child_buf_.resize(S);
+  child_key_.resize(S);
+
+  for (size_t d = 0; d < depth_count; ++d) {
+    double w = 1.0;
+    if (q.use_weights && d < q.obs->future_weights.size()) {
+      w = 1.0 + q.weight_shrinkage * (q.obs->future_weights[d] - 1.0);
+    }
+    w_[d] = w;
+
+    const size_t chunk = q.obs->next_chunk + d;
+    for (size_t l = 0; l < L; ++l) {
+      const auto& rep = video.rep(chunk, l);
+      vq_[d * L + l] = rep.visual_quality;
+      for (size_t s = 0; s < S; ++s) {
+        double kbps = std::max(1.0, q.scenarios[s].kbps);
+        dl_[(d * L + l) * S + s] = rep.size_bytes * 8.0 / 1000.0 / kbps + 0.08;
+      }
+    }
+  }
+
+  for (size_t l = 0; l < L; ++l) {
+    double qn = qoe::chunk_quality(vq_[l], 0.0, q.prev_visual_quality, q.chunk);
+    double eqn = 0.0;
+    for (size_t s = 0; s < S; ++s) eqn += q.scenarios[s].probability * qn;
+    root_qn_[l] = qn;
+    root_eqn_[l] = eqn;
+  }
+  for (size_t d = 1; d < depth_count; ++d) {
+    for (size_t l = 0; l < L; ++l) {
+      for (size_t p = 0; p < L; ++p) {
+        double qn = qoe::chunk_quality(vq_[d * L + l], 0.0, vq_[(d - 1) * L + p], q.chunk);
+        double eqn = 0.0;
+        for (size_t s = 0; s < S; ++s) eqn += q.scenarios[s].probability * qn;
+        qn_[(d * L + l) * L + p] = qn;
+        eqn_[(d * L + l) * L + p] = eqn;
+      }
+    }
+  }
+
+  // Stall-free relaxation bound, computed backwards. A step's contribution
+  // is w * E[q_nostall] + max(w, 1) * (E[q] - E[q_nostall]) with the second
+  // term <= 0, so w * eqn upper-bounds it; maximizing over levels bounds
+  // any continuation from (depth, prev level).
+  h_.resize((depth_count + 1) * L);
+  for (size_t p = 0; p < L; ++p) h_[depth_count * L + p] = 0.0;
+  for (size_t d = depth_count; d-- > 1;) {
+    for (size_t p = 0; p < L; ++p) {
+      double best = -1e18;
+      for (size_t l = 0; l < L; ++l) {
+        double v = w_[d] * eqn_[(d * L + l) * L + p] + h_[(d + 1) * L + l];
+        if (v > best) best = v;
+      }
+      h_[d * L + p] = best;
+    }
+  }
+}
+
+PlanResult DpPlanner::plan(const PlanQuery& q) {
+  const auto& video = *q.obs->video;
+  const size_t L = video.ladder().level_count();
+  const size_t S = q.num_scenarios;
+  const double tau = video.chunk_duration_s();
+  const size_t remaining =
+      q.obs->next_chunk < q.obs->num_chunks ? q.obs->num_chunks - q.obs->next_chunk : 0;
+  const size_t D = std::min(q.horizon, remaining);
+
+  PlanResult result;
+  if (D == 0) {
+    // The exhaustive walk bottoms out immediately: the empty plan has value
+    // 0 and the initial (level 0, no stall) first action.
+    result.best_value = 0.0;
+    result.nostall_value = 0.0;
+    return result;
+  }
+  precompute(q, D);
+
+  uint64_t best_rank = kNoRank;
+  uint64_t best_ns_rank = kNoRank;
+
+  // Pruning with the stall-free bound is only sound when the stall penalty
+  // actually penalizes (the default and every sane configuration).
+  const bool prune_ok = q.chunk.beta_rebuf >= 0.0 && q.chunk.rebuf_saturation >= 0.0;
+
+  // Advances every scenario one step (same dynamics and fold order as the
+  // exhaustive walk; no-stall quality served from the tables) and returns
+  // the expected quality. Writes the post-step buffers to `out`.
+  const auto step_expected_q = [&](size_t d, size_t level, double prev_vq_val, double qn,
+                                   double sched, const double* in, double* out) {
+    const double* dl_row = &dl_[(d * L + level) * S];
+    const double vq = vq_[d * L + level];
+    double expected_q = 0.0;
+    for (size_t s = 0; s < S; ++s) {
+      double b = in[s];
+      double dl = dl_row[s];
+      double stall = 0.0;
+      if (dl > b) {
+        stall = dl - b;
+        b = 0.0;
+      } else {
+        b -= dl;
+      }
+      if (sched > 0.0) {
+        b += sched;
+        stall += sched;
+      }
+      b = std::min(b + tau, kMaxBufferS);
+      out[s] = b;
+      double qv = stall > 0.0 ? qoe::chunk_quality(vq, stall, prev_vq_val, q.chunk) : qn;
+      expected_q += q.scenarios[s].probability * qv;
+    }
+    return expected_q;
+  };
+
+  // (max value, min rank) fold reproduces "first strictly-better leaf wins"
+  // of the depth-first reference.
+  const auto fold_leaf = [&](const StateRec& cand) {
+    if (cand.value > result.best_value ||
+        (cand.value == result.best_value && cand.rank < best_rank)) {
+      result.best_value = cand.value;
+      result.best_level = cand.first_level;
+      result.best_rebuffer_s = q.rebuffer_options[cand.first_sched];
+      best_rank = cand.rank;
+    }
+    if (cand.ns_rank != kNoRank &&
+        (cand.ns_value > result.nostall_value ||
+         (cand.ns_value == result.nostall_value && cand.ns_rank < best_ns_rank))) {
+      result.nostall_value = cand.ns_value;
+      result.nostall_level = cand.ns_level;
+      best_ns_rank = cand.ns_rank;
+    }
+  };
+
+  // Evaluates one concrete level path (first action uses rebuffer option 0)
+  // through the true dynamics and folds it as an exact incumbent leaf. The
+  // stronger the incumbent, the harder the bound prunes.
+  const auto fold_rollout = [&](const uint32_t* path) {
+    rollout_[0].assign(S, q.obs->buffer_s);
+    rollout_[1].resize(S);
+    double val = 0.0;
+    uint64_t rank = 0;
+    for (size_t d = 0; d < D; ++d) {
+      const size_t level = path[d];
+      const size_t stall_count = d == 0 ? q.num_rebuffer_options : 1;
+      const double sched = d == 0 ? q.rebuffer_options[0] : 0.0;
+      const size_t prev = d == 0 ? 0 : path[d - 1];
+      const double prev_vq_val =
+          d == 0 ? q.prev_visual_quality : vq_[(d - 1) * L + prev];
+      const double qn = d == 0 ? root_qn_[level] : qn_[(d * L + level) * L + prev];
+      const double eqn = d == 0 ? root_eqn_[level] : eqn_[(d * L + level) * L + prev];
+      double expected_q = step_expected_q(d, level, prev_vq_val, qn, sched,
+                                          rollout_[d % 2].data(), rollout_[1 - d % 2].data());
+      val = val + weighted_step_quality(w_[d], expected_q, eqn);
+      rank = rank * static_cast<uint64_t>(L * stall_count) +
+             static_cast<uint64_t>(level * stall_count);
+    }
+    StateRec leaf;
+    leaf.value = val;
+    leaf.rank = rank;
+    leaf.first_level = path[0];
+    leaf.first_sched = 0;
+    if (q.rebuffer_options[0] == 0.0) {
+      leaf.ns_value = val;
+      leaf.ns_rank = rank;
+      leaf.ns_level = path[0];
+    } else {
+      leaf.ns_rank = kNoRank;
+    }
+    fold_leaf(leaf);
+  };
+
+  // Seed incumbents: for every first level, greedily follow the argmax path
+  // of the stall-free bound; plus the all-lowest-level path, which is close
+  // to optimal exactly where the stall-free relaxation is loose (tight
+  // links). All are real leaves, so folding them is always sound.
+  if (q.num_rebuffer_options > 0) {
+    path_.resize(D);
+    for (size_t l0 = 0; l0 < L; ++l0) {
+      path_[0] = static_cast<uint32_t>(l0);
+      for (size_t d = 1; d < D; ++d) {
+        const size_t prev = path_[d - 1];
+        double best = -1e18;
+        size_t arg = 0;
+        for (size_t l = 0; l < L; ++l) {
+          double v = w_[d] * eqn_[(d * L + l) * L + prev] + h_[(d + 1) * L + l];
+          if (v > best) {
+            best = v;
+            arg = l;
+          }
+        }
+        path_[d] = static_cast<uint32_t>(arg);
+      }
+      fold_rollout(path_.data());
+    }
+    std::fill(path_.begin(), path_.end(), 0u);
+    fold_rollout(path_.data());
+  }
+
+  // Root: one state, all scenarios at the observed buffer level.
+  size_t cur = 0;
+  bufs_[cur].assign(S, q.obs->buffer_s);
+  recs_[cur].assign(1, StateRec{});
+
+  const auto key_of = [this](double v) -> uint64_t {
+    if (quantum_ > 0.0) return static_cast<uint64_t>(std::llround(v / quantum_));
+    return bits_of(v);
+  };
+
+  for (size_t d = 0; d < D; ++d) {
+    const size_t nxt = 1 - cur;
+    const size_t stall_count = d == 0 ? q.num_rebuffer_options : 1;
+    const uint64_t branch = static_cast<uint64_t>(L * stall_count);
+    const size_t parent_count = recs_[cur].size();
+    const bool leaf_depth = d + 1 == D;
+
+    size_t mask = 0;
+    if (!leaf_depth) {
+      recs_[nxt].clear();
+      bufs_[nxt].clear();
+      // Worst case every child is distinct; saturate the estimate so a long
+      // horizon cannot demand an absurd table up front (load-factor growth
+      // below handles the real count).
+      size_t projected = parent_count * L * stall_count;
+      ensure_hash_capacity(2 * std::min<size_t>(projected, size_t{1} << 20));
+      ++round_;
+      mask = stamp_.size() - 1;
+    }
+
+    const auto insert_or_merge = [&](const StateRec& cand) {
+      for (size_t s = 0; s < S; ++s) child_key_[s] = key_of(child_buf_[s]);
+      uint64_t h = splitmix(cand.last_level + 0x9e37ull);
+      for (size_t s = 0; s < S; ++s) h = splitmix(h ^ child_key_[s]);
+      size_t i = static_cast<size_t>(h) & mask;
+      while (stamp_[i] == round_) {
+        StateRec& ex = recs_[nxt][slot_[i]];
+        bool same = ex.last_level == cand.last_level;
+        if (same) {
+          const double* eb = &bufs_[nxt][static_cast<size_t>(slot_[i]) * S];
+          for (size_t s = 0; s < S; ++s) {
+            if (key_of(eb[s]) != child_key_[s]) {
+              same = false;
+              break;
+            }
+          }
+        }
+        if (same) {
+          // Identical continuation: keep the better prefix. Ranks encode the
+          // exhaustive walk's leaf visit order, so ties break identically.
+          if (cand.value > ex.value || (cand.value == ex.value && cand.rank < ex.rank)) {
+            ex.value = cand.value;
+            ex.rank = cand.rank;
+            ex.first_level = cand.first_level;
+            ex.first_sched = cand.first_sched;
+          }
+          if (cand.ns_rank != kNoRank &&
+              (ex.ns_rank == kNoRank || cand.ns_value > ex.ns_value ||
+               (cand.ns_value == ex.ns_value && cand.ns_rank < ex.ns_rank))) {
+            ex.ns_value = cand.ns_value;
+            ex.ns_rank = cand.ns_rank;
+            ex.ns_level = cand.ns_level;
+          }
+          return;
+        }
+        i = (i + 1) & mask;
+      }
+      // Fresh state: append to the arena and claim the slot.
+      stamp_[i] = round_;
+      slot_[i] = static_cast<uint32_t>(recs_[nxt].size());
+      recs_[nxt].push_back(cand);
+      bufs_[nxt].insert(bufs_[nxt].end(), child_buf_.begin(), child_buf_.end());
+
+      // Grow + rehash when half full so probes stay short. Steady state
+      // re-uses the high-water table with no allocation.
+      if (2 * recs_[nxt].size() >= stamp_.size()) {
+        ensure_hash_capacity(2 * stamp_.size());
+        ++round_;
+        mask = stamp_.size() - 1;
+        for (size_t r = 0; r < recs_[nxt].size(); ++r) {
+          const StateRec& rec = recs_[nxt][r];
+          const double* rb = &bufs_[nxt][r * S];
+          uint64_t rh = splitmix(rec.last_level + 0x9e37ull);
+          for (size_t s = 0; s < S; ++s) rh = splitmix(rh ^ key_of(rb[s]));
+          size_t j = static_cast<size_t>(rh) & mask;
+          while (stamp_[j] == round_) j = (j + 1) & mask;
+          stamp_[j] = round_;
+          slot_[j] = static_cast<uint32_t>(r);
+        }
+      }
+    };
+
+    for (size_t pi = 0; pi < parent_count; ++pi) {
+      const StateRec parent = recs_[cur][pi];  // by value: arena may reallocate
+      const double* pb = &bufs_[cur][pi * S];
+      const double prev_vq =
+          d == 0 ? q.prev_visual_quality : vq_[(d - 1) * L + parent.last_level];
+
+      for (size_t level = 0; level < L; ++level) {
+        const double qn =
+            d == 0 ? root_qn_[level] : qn_[(d * L + level) * L + parent.last_level];
+        const double eqn =
+            d == 0 ? root_eqn_[level] : eqn_[(d * L + level) * L + parent.last_level];
+        const double hb =
+            (leaf_depth ? 0.0 : h_[(d + 1) * L + level]) + kBoundSlack;
+        // Pre-dynamics prune: w * eqn upper-bounds the step contribution,
+        // so a hopeless action is rejected before its scenario loop runs.
+        const double ub = parent.value + w_[d] * eqn + hb;
+        const double ns_ub = parent.ns_value + w_[d] * eqn + hb;
+
+        for (size_t si = 0; si < stall_count; ++si) {
+          const double scheduled = d == 0 ? q.rebuffer_options[si] : 0.0;
+          if (prune_ok) {
+            bool useful = ub >= result.best_value;
+            if (!useful) {
+              const bool has_ns =
+                  d == 0 ? scheduled == 0.0 : parent.ns_rank != kNoRank;
+              useful = has_ns && ns_ub >= result.nostall_value;
+            }
+            if (!useful) continue;
+          }
+          const double expected_q =
+              step_expected_q(d, level, prev_vq, qn, scheduled, pb, child_buf_.data());
+          const double contribution = weighted_step_quality(w_[d], expected_q, eqn);
+
+          StateRec cand;
+          cand.last_level = static_cast<uint32_t>(level);
+          const uint64_t action = static_cast<uint64_t>(level * stall_count + si);
+          if (d == 0) {
+            cand.value = contribution;  // parent value is 0 at the root
+            cand.rank = action;
+            cand.first_level = static_cast<uint32_t>(level);
+            cand.first_sched = static_cast<uint32_t>(si);
+            if (scheduled == 0.0) {
+              cand.ns_value = cand.value;
+              cand.ns_rank = cand.rank;
+              cand.ns_level = static_cast<uint32_t>(level);
+            } else {
+              cand.ns_rank = kNoRank;
+            }
+          } else {
+            cand.value = parent.value + contribution;
+            cand.rank = parent.rank * branch + action;
+            cand.first_level = parent.first_level;
+            cand.first_sched = parent.first_sched;
+            if (parent.ns_rank != kNoRank) {
+              cand.ns_value = parent.ns_value + contribution;
+              cand.ns_rank = parent.ns_rank * branch + action;
+              cand.ns_level = parent.ns_level;
+            } else {
+              cand.ns_rank = kNoRank;
+            }
+          }
+          if (leaf_depth) {
+            fold_leaf(cand);
+            continue;
+          }
+
+          // Post-dynamics prune, tighter than the pre-check: drop the state
+          // when even a stall-free completion of the *actual* prefix value
+          // cannot strictly beat the incumbents.
+          if (prune_ok) {
+            bool useful = cand.value + hb >= result.best_value;
+            if (!useful && cand.ns_rank != kNoRank) {
+              useful = cand.ns_value + hb >= result.nostall_value;
+            }
+            if (!useful) continue;
+          }
+          insert_or_merge(cand);
+        }
+      }
+    }
+    if (!leaf_depth) cur = nxt;
+  }
+  return result;
+}
+
+std::unique_ptr<Planner> make_planner(PlannerKind kind, double dp_buffer_quantum_s) {
+  switch (kind) {
+    case PlannerKind::kExhaustive:
+      return std::make_unique<ExhaustivePlanner>();
+    case PlannerKind::kDp:
+    default:
+      return std::make_unique<DpPlanner>(dp_buffer_quantum_s);
+  }
+}
+
+}  // namespace sensei::abr

@@ -1,0 +1,189 @@
+// MPC lookahead planners behind Fugu/SENSEI-Fugu (paper Eq. 3 / Eq. 4).
+//
+// Both planners maximize the same objective: the expected sum, over a
+// discrete throughput-scenario distribution, of per-chunk qualities across
+// the next `horizon` chunks, optionally weighted by per-chunk sensitivity
+// and extended with a scheduled-rebuffering action for the first chunk.
+//
+//  - ExhaustivePlanner is the reference realization: a depth-first walk of
+//    the full (levels x rebuffer_options)^horizon decision tree, advancing a
+//    heap-allocated per-scenario state vector at every node. Exponential in
+//    the horizon; kept as the equivalence baseline behind a config flag.
+//
+//  - DpPlanner is the production planner: a breadth-first dynamic program
+//    over the *reachable* joint states (last level, per-scenario buffers),
+//    in the style of Puffer's value iteration (Yan et al., NSDI'20) —
+//    round-stamped flat hash slots instead of per-decision clearing, a
+//    fixed-capacity arena reused across decide() calls (zero steady-state
+//    heap allocation), and per-(depth, level) download-time / quality tables
+//    precomputed once per decision instead of at every tree node. States
+//    that coincide (exactly, or within `buffer_quantum_s` buckets when > 0)
+//    are merged, which collapses the tree wherever the buffer saturates at
+//    its floor or cap. On top of the merge, an admissible bound prunes the
+//    fan-out: the stall-free relaxation H(d, level) — a tiny L x horizon
+//    value iteration over the precomputed quality tables — upper-bounds any
+//    continuation, and a greedy rollout of its argmax path seeds an exact
+//    incumbent; a state is dropped when value + H cannot *strictly* beat
+//    the incumbent (ties are kept, so the depth-first tie-break of the
+//    reference planner is preserved bit-for-bit).
+//
+// With buffer_quantum_s == 0 (the default) merging only unifies bitwise-
+// identical states, and every arithmetic expression mirrors the exhaustive
+// recursion operation-for-operation, so the DP returns *bit-identical*
+// values and decisions — the equivalence gate in
+// tests/test_planner_equivalence.cpp asserts exactly that. A positive
+// quantum trades exactness for polynomially-bounded state growth
+// (Puffer's unit_buf_length), which is the right regime for horizons
+// beyond ~8 chunks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/predictor.h"
+#include "qoe/chunk_quality.h"
+#include "sim/player.h"
+
+namespace sensei::abr {
+
+enum class PlannerKind {
+  kDp,          // memoized reachable-state DP (default)
+  kExhaustive,  // reference exhaustive recursion
+};
+
+// Default buffer discretization for DpPlanner state merging (seconds).
+// 0 = exact (bitwise) merging.
+inline constexpr double kDefaultDpBufferQuantumS = 0.0;
+
+// One lookahead request. Pointers reference caller-owned storage and must
+// stay valid for the duration of plan().
+struct PlanQuery {
+  const sim::AbrObservation* obs = nullptr;
+  const net::ThroughputScenario* scenarios = nullptr;
+  size_t num_scenarios = 0;
+  size_t horizon = 0;
+  // Scheduled-rebuffer choices for the *first* step (deeper steps always
+  // use 0, as in the paper's SENSEI-Fugu).
+  const double* rebuffer_options = nullptr;
+  size_t num_rebuffer_options = 0;
+  bool use_weights = false;
+  double weight_shrinkage = 0.0;
+  qoe::ChunkQualityParams chunk;
+  // Visual quality of the previously played chunk (seeds the smoothness
+  // penalty of the first lookahead step).
+  double prev_visual_quality = 0.0;
+};
+
+struct PlanResult {
+  size_t best_level = 0;
+  double best_rebuffer_s = 0.0;
+  double best_value = -1e18;
+  // Best plan whose first action schedules no rebuffering, tracked
+  // separately so the caller can apply its rebuffer margin.
+  size_t nostall_level = 0;
+  double nostall_value = -1e18;
+};
+
+// Splits a step's expected quality into its stall-free part (weighted by w)
+// and the stall penalty part (weighted by max(w, 1)): a low sensitivity
+// weight discounts the *quality* of a chunk, never the pain of stalling.
+inline double weighted_step_quality(double w, double expected_q, double expected_q_nostall) {
+  double stall_part = expected_q - expected_q_nostall;  // <= 0
+  return w * expected_q_nostall + std::max(w, 1.0) * stall_part;
+}
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual const char* name() const = 0;
+  virtual PlanResult plan(const PlanQuery& query) = 0;
+};
+
+// The original Fugu recursion, verbatim: the correctness baseline the DP is
+// gated against, and the "before" side of bench_planner.
+class ExhaustivePlanner : public Planner {
+ public:
+  const char* name() const override { return "exhaustive"; }
+  PlanResult plan(const PlanQuery& query) override;
+
+ private:
+  struct PlanState {
+    double buffer_s = 0.0;
+    double prev_vq = 0.0;
+  };
+
+  double walk(const PlanQuery& q, size_t depth, size_t chunk,
+              std::vector<PlanState>& states, double prev_weighted_sum);
+
+  // Best first action found by the current walk, tracked separately for
+  // stall-free plans so the caller can apply the rebuffer margin.
+  PlanResult result_;
+  size_t plan_first_level_ = 0;
+  double plan_first_rebuffer_ = 0.0;
+};
+
+class DpPlanner : public Planner {
+ public:
+  explicit DpPlanner(double buffer_quantum_s = 0.0);
+
+  const char* name() const override { return "dp"; }
+  PlanResult plan(const PlanQuery& query) override;
+
+  // Bytes currently owned by the arenas/tables — exposed so tests and
+  // benches can assert the steady-state hot path stops allocating.
+  size_t arena_bytes() const;
+
+ private:
+  // Per-state bookkeeping. The state identity is (last_level, buffers);
+  // records carry the best prefix reaching the state, plus the best prefix
+  // whose first action scheduled no stall. Ranks encode the depth-first
+  // visit order of the exhaustive walk so ties resolve identically.
+  struct StateRec {
+    double value = 0.0;
+    double ns_value = 0.0;
+    uint64_t rank = 0;
+    uint64_t ns_rank = 0;  // kNoRank when no stall-free prefix reaches here
+    uint32_t first_level = 0;
+    uint32_t first_sched = 0;  // index into rebuffer_options
+    uint32_t ns_level = 0;
+    uint32_t last_level = 0;
+  };
+  static constexpr uint64_t kNoRank = ~0ull;
+
+  void precompute(const PlanQuery& q, size_t depth_count);
+  void ensure_hash_capacity(size_t min_slots);
+
+  double quantum_;
+
+  // Precomputed per-decision tables (indexed [depth][level][...]).
+  std::vector<double> dl_;       // expected download time per scenario
+  std::vector<double> vq_;       // visual quality
+  std::vector<double> qn_;       // no-stall chunk quality per prev level
+  std::vector<double> eqn_;      // probability-folded no-stall quality
+  std::vector<double> w_;        // per-depth sensitivity weight
+  std::vector<double> root_qn_;  // depth-0 no-stall quality per level
+  std::vector<double> root_eqn_;
+  // Stall-free relaxation bound: h_[d * L + p] is the best possible
+  // contribution of depths [d, D) given the previous level is p, assuming
+  // no scenario ever stalls. Admissible (stalls only lower quality).
+  std::vector<double> h_;
+
+  // Double-buffered state arenas: buffers are [state][scenario] flat.
+  std::vector<double> bufs_[2];
+  std::vector<StateRec> recs_[2];
+  std::vector<double> child_buf_;     // scratch for one candidate child
+  std::vector<uint64_t> child_key_;   // quantized/bit keys of child_buf_
+  std::vector<uint32_t> path_;        // argmax path of the bound (incumbent)
+  std::vector<double> rollout_[2];    // incumbent rollout buffers
+
+  // Round-stamped open-addressing hash over next-depth states: a slot is
+  // live iff stamp_[i] == round_, so no clearing between depths/decisions.
+  std::vector<uint64_t> stamp_;
+  std::vector<uint32_t> slot_;
+  uint64_t round_ = 0;
+};
+
+std::unique_ptr<Planner> make_planner(PlannerKind kind, double dp_buffer_quantum_s = 0.0);
+
+}  // namespace sensei::abr

@@ -10,11 +10,13 @@ ProfileOutput Sensei::profile(const media::EncodedVideo& video) const {
   return pipeline_.run(video);
 }
 
-std::unique_ptr<abr::FuguAbr> Sensei::make_fugu(qoe::ChunkQualityParams params) {
+std::unique_ptr<abr::FuguAbr> Sensei::make_fugu(qoe::ChunkQualityParams params,
+                                                abr::PlannerKind planner) {
   abr::FuguConfig cfg;
   cfg.chunk = params;
   cfg.use_weights = false;
   cfg.rebuffer_options = {0.0};
+  cfg.planner = planner;
   return std::make_unique<abr::FuguAbr>(cfg);
 }
 
@@ -26,20 +28,23 @@ std::unique_ptr<abr::PensieveAbr> Sensei::make_pensieve(uint64_t seed,
   return std::make_unique<abr::PensieveAbr>(cfg, seed);
 }
 
-std::unique_ptr<abr::FuguAbr> Sensei::make_sensei_fugu(qoe::ChunkQualityParams params) {
+std::unique_ptr<abr::FuguAbr> Sensei::make_sensei_fugu(qoe::ChunkQualityParams params,
+                                                       abr::PlannerKind planner) {
   abr::FuguConfig cfg;
   cfg.chunk = params;
   cfg.use_weights = true;
   cfg.rebuffer_options = {0.0, 1.0, 2.0};
+  cfg.planner = planner;
   return std::make_unique<abr::FuguAbr>(cfg);
 }
 
 std::unique_ptr<abr::FuguAbr> Sensei::make_sensei_fugu_bitrate_only(
-    qoe::ChunkQualityParams params) {
+    qoe::ChunkQualityParams params, abr::PlannerKind planner) {
   abr::FuguConfig cfg;
   cfg.chunk = params;
   cfg.use_weights = true;
   cfg.rebuffer_options = {0.0};
+  cfg.planner = planner;
   return std::make_unique<abr::FuguAbr>(cfg);
 }
 

@@ -35,19 +35,29 @@ class Sensei {
   ProfileOutput profile(const media::EncodedVideo& video) const;
 
   // --- ABR factory helpers -------------------------------------------------
+  //
+  // The Fugu factories take the lookahead engine as a parameter: the
+  // memoized DP by default, or the reference exhaustive recursion for
+  // equivalence/regression runs. Both yield identical decisions (see
+  // tests/test_planner_equivalence.cpp).
 
   // Vanilla baselines.
-  static std::unique_ptr<abr::FuguAbr> make_fugu(qoe::ChunkQualityParams params = {});
+  static std::unique_ptr<abr::FuguAbr> make_fugu(
+      qoe::ChunkQualityParams params = {},
+      abr::PlannerKind planner = abr::PlannerKind::kDp);
   static std::unique_ptr<abr::PensieveAbr> make_pensieve(uint64_t seed = 41,
                                                          qoe::ChunkQualityParams params = {});
 
   // SENSEI variants. Weights reach the ABR through the player's observation
   // (sourced from the manifest), so these need no weight vector at build time.
-  static std::unique_ptr<abr::FuguAbr> make_sensei_fugu(qoe::ChunkQualityParams params = {});
+  static std::unique_ptr<abr::FuguAbr> make_sensei_fugu(
+      qoe::ChunkQualityParams params = {},
+      abr::PlannerKind planner = abr::PlannerKind::kDp);
   // `bitrate_adaptation_only` disables the scheduled-rebuffering action while
   // keeping the weighted objective (the Figure 18b middle bar).
   static std::unique_ptr<abr::FuguAbr> make_sensei_fugu_bitrate_only(
-      qoe::ChunkQualityParams params = {});
+      qoe::ChunkQualityParams params = {},
+      abr::PlannerKind planner = abr::PlannerKind::kDp);
   static std::unique_ptr<abr::PensieveAbr> make_sensei_pensieve(
       uint64_t seed = 42, qoe::ChunkQualityParams params = {});
 

@@ -2,13 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/stats.h"
 
 namespace sensei::net {
 
-std::vector<ThroughputScenario> ThroughputPredictor::scenarios() const {
-  return {{predict_kbps(), 1.0}};
+std::vector<ThroughputScenario> triangular_scenarios(size_t count, double center_kbps,
+                                                     double cv) {
+  std::vector<ThroughputScenario> out;
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    double pos = count == 1 ? 0.0
+                            : -1.0 + 2.0 * static_cast<double>(i) /
+                                         static_cast<double>(count - 1);
+    double p = 1.0 + (1.0 - std::abs(pos));
+    out.push_back({std::max(30.0, center_kbps * (1.0 + cv * pos)), p});
+    total += p;
+  }
+  for (auto& s : out) s.probability /= total;
+  return out;
+}
+
+void ThroughputPredictor::scenarios_into(std::vector<ThroughputScenario>& out) const {
+  out.clear();
+  out.push_back({predict_kbps(), 1.0});
 }
 
 HarmonicMeanPredictor::HarmonicMeanPredictor(size_t window, double initial_kbps)
@@ -60,20 +78,27 @@ void ScenarioPredictor::observe(double kbps) {
 
 double ScenarioPredictor::predict_kbps() const { return point_.predict_kbps(); }
 
-std::vector<ThroughputScenario> ScenarioPredictor::scenarios() const {
+void ScenarioPredictor::scenarios_into(std::vector<ThroughputScenario>& out) const {
   double center = point_.predict_kbps();
   // Coefficient of variation of recent samples decides the scenario spread.
+  // Computed directly over the history deque (same accumulation order as
+  // util::mean/stddev over a copy, so the result is bit-identical) to keep
+  // the per-decision path allocation-free.
   double cv = 0.25;
   if (history_.size() >= 3) {
-    std::vector<double> v(history_.begin(), history_.end());
-    double m = util::mean(v);
-    if (m > 0.0) cv = util::clamp(util::stddev(v) / m, 0.05, 0.8);
+    double m = std::accumulate(history_.begin(), history_.end(), 0.0) /
+               static_cast<double>(history_.size());
+    if (m > 0.0) {
+      double acc = 0.0;
+      for (double x : history_) acc += (x - m) * (x - m);
+      double sd = std::sqrt(acc / static_cast<double>(history_.size()));
+      cv = util::clamp(sd / m, 0.05, 0.8);
+    }
   }
-  return {
-      {std::max(30.0, center * (1.0 - cv)), 0.25},
-      {center, 0.5},
-      {center * (1.0 + cv), 0.25},
-  };
+  out.clear();
+  out.push_back({std::max(30.0, center * (1.0 - cv)), 0.25});
+  out.push_back({center, 0.5});
+  out.push_back({center * (1.0 + cv), 0.25});
 }
 
 void ScenarioPredictor::reset() {

@@ -19,6 +19,13 @@ struct ThroughputScenario {
   double probability = 0.0;
 };
 
+// Synthesizes a discrete scenario fan centered on `center_kbps` with
+// relative spread `cv`: positions spread over [-cv, +cv], triangular
+// probability profile (normalized), 30 Kbps floor. Used by planner tests
+// and benches to generate forecast distributions of arbitrary width.
+std::vector<ThroughputScenario> triangular_scenarios(size_t count, double center_kbps,
+                                                     double cv);
+
 class ThroughputPredictor {
  public:
   virtual ~ThroughputPredictor() = default;
@@ -29,8 +36,18 @@ class ThroughputPredictor {
   // Point estimate for the next chunks (Kbps).
   virtual double predict_kbps() const = 0;
 
-  // Discrete distribution (defaults to a single point scenario).
-  virtual std::vector<ThroughputScenario> scenarios() const;
+  // Discrete distribution, written into a caller-provided buffer (cleared
+  // first). MPC controllers call this every decide(); reusing one buffer
+  // keeps the hot path free of heap allocation. Defaults to a single point
+  // scenario.
+  virtual void scenarios_into(std::vector<ThroughputScenario>& out) const;
+
+  // Convenience wrapper returning a fresh vector.
+  std::vector<ThroughputScenario> scenarios() const {
+    std::vector<ThroughputScenario> out;
+    scenarios_into(out);
+    return out;
+  }
 
   virtual void reset() = 0;
 };
@@ -72,7 +89,7 @@ class ScenarioPredictor : public ThroughputPredictor {
   explicit ScenarioPredictor(size_t window = 8, double initial_kbps = 1000.0);
   void observe(double kbps) override;
   double predict_kbps() const override;
-  std::vector<ThroughputScenario> scenarios() const override;
+  void scenarios_into(std::vector<ThroughputScenario>& out) const override;
   void reset() override;
 
  private:

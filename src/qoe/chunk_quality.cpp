@@ -1,21 +1,6 @@
 #include "qoe/chunk_quality.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace sensei::qoe {
-
-double stall_penalty(double stall_s, const ChunkQualityParams& p) {
-  if (stall_s <= 0.0) return 0.0;
-  return stall_s / (1.0 + p.rebuf_saturation * stall_s);
-}
-
-double chunk_quality(double visual_quality, double stall_s, double prev_visual_quality,
-                     const ChunkQualityParams& p) {
-  double q = visual_quality - p.beta_rebuf * stall_penalty(stall_s, p) -
-             p.beta_switch * std::abs(visual_quality - prev_visual_quality);
-  return std::max(p.floor, q);
-}
 
 std::vector<double> chunk_qualities(const sim::RenderedVideo& video,
                                     const ChunkQualityParams& p) {

@@ -6,7 +6,14 @@
 // with a saturating stall penalty pen(t) = t / (1 + sat * t) reflecting the
 // diminishing marginal annoyance of longer stalls, and a floor so one
 // catastrophic chunk cannot dominate an entire session unboundedly.
+//
+// stall_penalty/chunk_quality are defined inline: the MPC planners evaluate
+// them at every node of every lookahead, and the call must fold into the
+// surrounding loop rather than cross a translation unit.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
 
 #include "sim/render.h"
 
@@ -20,12 +27,19 @@ struct ChunkQualityParams {
 };
 
 // Saturating stall penalty.
-double stall_penalty(double stall_s, const ChunkQualityParams& p = ChunkQualityParams());
+inline double stall_penalty(double stall_s, const ChunkQualityParams& p = ChunkQualityParams()) {
+  if (stall_s <= 0.0) return 0.0;
+  return stall_s / (1.0 + p.rebuf_saturation * stall_s);
+}
 
 // Quality contribution of a chunk given its visual quality, the stall before
 // it, and the previous chunk's visual quality (pass vq itself for chunk 0).
-double chunk_quality(double visual_quality, double stall_s, double prev_visual_quality,
-                     const ChunkQualityParams& p = ChunkQualityParams());
+inline double chunk_quality(double visual_quality, double stall_s, double prev_visual_quality,
+                            const ChunkQualityParams& p = ChunkQualityParams()) {
+  double q = visual_quality - p.beta_rebuf * stall_penalty(stall_s, p) -
+             p.beta_switch * std::abs(visual_quality - prev_visual_quality);
+  return std::max(p.floor, q);
+}
 
 // Vector of q_i over a rendered video.
 std::vector<double> chunk_qualities(const sim::RenderedVideo& video,

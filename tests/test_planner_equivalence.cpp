@@ -1,0 +1,273 @@
+// Equivalence gate for the MPC planner swap: the memoized DpPlanner must
+// reproduce the reference ExhaustivePlanner exactly — same (level,
+// scheduled_rebuffer) decision and bit-identical value — across a seeded
+// grid of observations, weights, and scenario sets, and whole experiment
+// grids must stay bit-identical before/after the swap at any thread count.
+#include "abr/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/fugu.h"
+#include "core/experiments.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "util/rng.h"
+
+namespace sensei::abr {
+namespace {
+
+class PlannerEquivalence : public ::testing::Test {
+ protected:
+  media::EncodedVideo video_ = media::Encoder().encode(
+      media::SourceVideo::generate("PlannerEq", media::Genre::kSports, 120));
+};
+
+struct GridCase {
+  sim::AbrObservation obs;
+  std::vector<net::ThroughputScenario> scenarios;
+  std::vector<double> rebuffer_options;
+  bool use_weights = false;
+  size_t horizon = 5;
+};
+
+// Seeded grid spanning buffers, positions (incl. end-of-video), levels,
+// scenario counts/spreads, weights, and both rebuffer-action sets.
+std::vector<GridCase> seeded_grid(const media::EncodedVideo& video, uint64_t seed,
+                                  size_t cases_per_combo) {
+  util::Rng rng(seed);
+  std::vector<GridCase> grid;
+  for (size_t horizon : {1, 2, 3, 4, 5}) {
+    for (bool use_weights : {false, true}) {
+      for (bool stall_actions : {false, true}) {
+        for (size_t i = 0; i < cases_per_combo; ++i) {
+          GridCase c;
+          c.horizon = horizon;
+          c.use_weights = use_weights;
+          c.rebuffer_options =
+              stall_actions ? std::vector<double>{0.0, 1.0, 2.0} : std::vector<double>{0.0};
+          c.obs.video = &video;
+          c.obs.num_chunks = video.num_chunks();
+          // Bias a few cases to the tail so the chunk-exhaustion leaf fires.
+          c.obs.next_chunk = rng.chance(0.25)
+                                 ? video.num_chunks() - 1 - static_cast<size_t>(
+                                       rng.uniform_int(0, 2))
+                                 : static_cast<size_t>(rng.uniform_int(
+                                       0, static_cast<int>(video.num_chunks()) - 1));
+          c.obs.buffer_s = rng.uniform(0.0, 28.0);
+          c.obs.last_level = static_cast<size_t>(
+              rng.uniform_int(0, static_cast<int>(video.ladder().level_count()) - 1));
+          size_t num_scen = rng.chance(0.5) ? 3 : 8;
+          c.scenarios = net::triangular_scenarios(num_scen, rng.uniform(250.0, 6500.0),
+                                       rng.uniform(0.05, 0.8));
+          if (use_weights) {
+            for (size_t d = 0; d < horizon; ++d)
+              c.obs.future_weights.push_back(rng.uniform(0.5, 2.8));
+          }
+          grid.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+PlanQuery make_query(const GridCase& c) {
+  PlanQuery q;
+  q.obs = &c.obs;
+  q.scenarios = c.scenarios.data();
+  q.num_scenarios = c.scenarios.size();
+  q.horizon = c.horizon;
+  q.rebuffer_options = c.rebuffer_options.data();
+  q.num_rebuffer_options = c.rebuffer_options.size();
+  q.use_weights = c.use_weights;
+  q.weight_shrinkage = 0.8;
+  double prev_vq = c.obs.next_chunk > 0
+                       ? c.obs.video->visual_quality(c.obs.next_chunk - 1, c.obs.last_level)
+                       : c.obs.video->visual_quality(0, 0);
+  q.prev_visual_quality = prev_vq;
+  return q;
+}
+
+TEST_F(PlannerEquivalence, DpMatchesExhaustiveBitIdenticalOnSeededGrid) {
+  ExhaustivePlanner reference;
+  DpPlanner dp;  // exact merging (quantum 0)
+  auto grid = seeded_grid(video_, 0xfeed5eed, 6);
+  ASSERT_FALSE(grid.empty());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    PlanQuery q = make_query(grid[i]);
+    PlanResult a = reference.plan(q);
+    PlanResult b = dp.plan(q);
+    SCOPED_TRACE("case " + std::to_string(i) + " horizon " +
+                 std::to_string(grid[i].horizon));
+    EXPECT_EQ(a.best_level, b.best_level);
+    EXPECT_DOUBLE_EQ(a.best_rebuffer_s, b.best_rebuffer_s);
+    EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+    EXPECT_EQ(a.nostall_level, b.nostall_level);
+    EXPECT_DOUBLE_EQ(a.nostall_value, b.nostall_value);
+  }
+}
+
+TEST_F(PlannerEquivalence, QuantizedDpKeepsDecisionsWithinTolerance) {
+  // Puffer-style lossy bucketing (unit_buf_length = 0.25 s): decisions must
+  // survive the discretization on small horizons, values within a tolerance
+  // proportional to the per-step quantization error.
+  ExhaustivePlanner reference;
+  DpPlanner dp(0.25);
+  auto grid = seeded_grid(video_, 0x0ddba11, 4);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].horizon > 3) continue;
+    PlanQuery q = make_query(grid[i]);
+    PlanResult a = reference.plan(q);
+    PlanResult b = dp.plan(q);
+    SCOPED_TRACE("case " + std::to_string(i));
+    EXPECT_EQ(a.best_level, b.best_level);
+    EXPECT_DOUBLE_EQ(a.best_rebuffer_s, b.best_rebuffer_s);
+    EXPECT_NEAR(a.best_value, b.best_value, 0.5);
+  }
+}
+
+TEST_F(PlannerEquivalence, DpValueMonotonicInInitialBuffer) {
+  // More starting buffer can only help: the optimal lookahead value must be
+  // nondecreasing in the observed buffer level, all else equal.
+  DpPlanner dp;
+  util::Rng rng(0xb0ffe4);
+  for (size_t trial = 0; trial < 20; ++trial) {
+    GridCase c;
+    c.horizon = 5;
+    c.rebuffer_options = std::vector<double>{0.0, 1.0, 2.0};
+    c.obs.video = &video_;
+    c.obs.num_chunks = video_.num_chunks();
+    c.obs.next_chunk = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int>(video_.num_chunks()) - 6));
+    c.obs.last_level = static_cast<size_t>(rng.uniform_int(0, 4));
+    c.scenarios = net::triangular_scenarios(5, rng.uniform(300.0, 5000.0), rng.uniform(0.1, 0.7));
+    double prev = -1e18;
+    for (double buffer = 0.0; buffer <= 24.0; buffer += 2.0) {
+      c.obs.buffer_s = buffer;
+      PlanQuery q = make_query(c);
+      double value = dp.plan(q).best_value;
+      EXPECT_GE(value, prev - 1e-12) << "buffer " << buffer << " trial " << trial;
+      prev = value;
+    }
+  }
+}
+
+TEST_F(PlannerEquivalence, SteadyStateHotPathStopsAllocating) {
+  DpPlanner dp;
+  GridCase c;
+  c.horizon = 5;
+  c.rebuffer_options = std::vector<double>{0.0, 1.0, 2.0};
+  c.use_weights = true;
+  c.obs.video = &video_;
+  c.obs.num_chunks = video_.num_chunks();
+  c.obs.next_chunk = 3;
+  c.obs.buffer_s = 7.5;
+  c.obs.last_level = 2;
+  c.obs.future_weights = {1.4, 0.8, 2.1, 1.0, 0.6};
+  c.scenarios = net::triangular_scenarios(8, 2400.0, 0.4);
+  // One pass over the observation sweep reaches the arena's high-water
+  // mark; a second identical pass must not allocate another byte.
+  auto sweep = [&] {
+    for (int i = 0; i < 50; ++i) {
+      c.obs.buffer_s = 0.5 * static_cast<double>(i % 40);
+      c.obs.next_chunk = static_cast<size_t>(i % 20);
+      PlanQuery q = make_query(c);
+      dp.plan(q);
+    }
+  };
+  sweep();
+  size_t warm = dp.arena_bytes();
+  sweep();
+  EXPECT_EQ(dp.arena_bytes(), warm);
+}
+
+TEST_F(PlannerEquivalence, FullSessionsIdenticalAcrossPlanners) {
+  auto traces = std::vector<net::ThroughputTrace>{
+      net::TraceGenerator::cellular("cell", 1200, 600.0, 5),
+      net::TraceGenerator::broadband("bb", 2600, 600.0, 9),
+  };
+  std::vector<double> weights(video_.num_chunks(), 0.8);
+  for (size_t i = 10; i < 16 && i < weights.size(); ++i) weights[i] = 2.4;
+
+  for (bool sensei_mode : {false, true}) {
+    for (const auto& trace : traces) {
+      FuguConfig dp_cfg, ex_cfg;
+      dp_cfg.use_weights = ex_cfg.use_weights = sensei_mode;
+      if (sensei_mode) {
+        dp_cfg.rebuffer_options = std::vector<double>{0.0, 1.0, 2.0};
+        ex_cfg.rebuffer_options = std::vector<double>{0.0, 1.0, 2.0};
+      }
+      dp_cfg.planner = PlannerKind::kDp;
+      ex_cfg.planner = PlannerKind::kExhaustive;
+      FuguAbr dp_abr(dp_cfg), ex_abr(ex_cfg);
+      sim::Player player;
+      auto s_dp = player.stream(video_, trace, dp_abr, sensei_mode ? weights : std::vector<double>{});
+      auto s_ex = player.stream(video_, trace, ex_abr, sensei_mode ? weights : std::vector<double>{});
+      ASSERT_EQ(s_dp.chunks().size(), s_ex.chunks().size());
+      for (size_t i = 0; i < s_dp.chunks().size(); ++i) {
+        const auto& a = s_dp.chunks()[i];
+        const auto& b = s_ex.chunks()[i];
+        EXPECT_EQ(a.level, b.level) << "chunk " << i;
+        EXPECT_EQ(a.scheduled_rebuffer_s, b.scheduled_rebuffer_s) << "chunk " << i;
+        EXPECT_EQ(a.rebuffer_s, b.rebuffer_s) << "chunk " << i;
+        EXPECT_EQ(a.buffer_after_s, b.buffer_after_s) << "chunk " << i;
+        EXPECT_EQ(a.download_time_s, b.download_time_s) << "chunk " << i;
+      }
+    }
+  }
+}
+
+// ExperimentRunner grids must be bit-identical before/after the planner
+// swap, and across thread counts — the end-to-end determinism contract the
+// figure benches rely on.
+TEST(PlannerGridDeterminism, GridBitIdenticalAcrossPlannersAndThreads) {
+  std::vector<media::EncodedVideo> videos;
+  videos.push_back(media::Encoder().encode(
+      media::SourceVideo::generate("GridEqA", media::Genre::kNature, 120)));
+  videos.push_back(media::Encoder().encode(
+      media::SourceVideo::generate("GridEqB", media::Genre::kGaming, 120)));
+  std::vector<net::ThroughputTrace> traces = {
+      net::TraceGenerator::cellular("cellA", 900, 600.0, 3),
+      net::TraceGenerator::broadband("bbB", 3000, 600.0, 4),
+  };
+  std::vector<std::vector<double>> weights;
+  for (const auto& v : videos) {
+    std::vector<double> w(v.num_chunks(), 1.0);
+    for (size_t i = 5; i < w.size(); i += 7) w[i] = 2.2;
+    weights.push_back(std::move(w));
+  }
+
+  auto run = [&](abr::PlannerKind kind, size_t threads) {
+    core::ExperimentRunner runner(threads);
+    return core::Experiments::run_grid(
+        videos, traces, [kind] { return core::Sensei::make_sensei_fugu({}, kind); },
+        weights, runner);
+  };
+
+  auto base = run(abr::PlannerKind::kExhaustive, 1);
+  for (auto kind : {abr::PlannerKind::kExhaustive, abr::PlannerKind::kDp}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      auto got = run(kind, threads);
+      ASSERT_EQ(got.size(), base.size());
+      for (size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + " threads " + std::to_string(threads));
+        EXPECT_EQ(got[i].true_qoe, base[i].true_qoe);
+        ASSERT_EQ(got[i].session.chunks().size(), base[i].session.chunks().size());
+        for (size_t j = 0; j < base[i].session.chunks().size(); ++j) {
+          EXPECT_EQ(got[i].session.chunks()[j].level, base[i].session.chunks()[j].level);
+          EXPECT_EQ(got[i].session.chunks()[j].rebuffer_s,
+                    base[i].session.chunks()[j].rebuffer_s);
+          EXPECT_EQ(got[i].session.chunks()[j].scheduled_rebuffer_s,
+                    base[i].session.chunks()[j].scheduled_rebuffer_s);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sensei::abr
