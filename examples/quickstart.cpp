@@ -8,6 +8,7 @@
 #include "core/sensei.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
+#include "qoe/metrics.h"
 #include "sim/player.h"
 #include "util/table.h"
 
@@ -37,16 +38,24 @@ int main() {
               profiled.profile.cost_usd, source.duration_s() / 60.0,
               profiled.profile.elapsed_minutes);
 
-  // 3. Stream with each ABR and score the outcome with the oracle.
+  // 3. Stream with each ABR and score the outcome with the oracle. The
+  //    timeline engine attaches the exact trajectory to every session, so
+  //    stall placement (SENSEI's whole premise) is read off it directly.
   sim::Player player;
-  util::Table table({"ABR", "true QoE", "mean Kbps", "rebuffer s", "switches"});
+  util::Table table(
+      {"ABR", "true QoE", "mean Kbps", "rebuffer s", "stalls", "first stall @", "switches"});
 
   auto evaluate = [&](sim::AbrPolicy& policy, const std::vector<double>& weights) {
     sim::SessionResult session = player.stream(video, trace, policy, weights);
     double qoe = oracle.score(session.to_rendered(video));
+    qoe::StallProfile stalls = qoe::stall_profile(*session.timeline());
     table.add_row({policy.name(), util::Table::format_double(qoe, 3),
                    util::Table::format_double(session.mean_bitrate_kbps(), 0),
                    util::Table::format_double(session.total_rebuffer_s(), 1),
+                   std::to_string(stalls.stall_event_count),
+                   stalls.first_stall_wall_s < 0.0
+                       ? std::string("-")
+                       : util::Table::format_double(stalls.first_stall_wall_s, 1) + "s",
                    std::to_string(session.switch_count())});
     return qoe;
   };

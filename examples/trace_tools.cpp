@@ -26,11 +26,28 @@ int main() {
   }
   std::printf("same mean, different character:\n%s\n", table.to_string().c_str());
 
-  // CSV round trip (the bridge to real FCC / HSDPA trace files).
+  // CSV round trip (the bridge to real FCC / HSDPA trace files). The parser
+  // validates what real captures get wrong — jumbled timestamps, irregular
+  // sampling, junk cells — and reports the offending line instead of
+  // silently mistiming every later sample.
   std::string csv = cellular.to_csv();
   auto reloaded = net::ThroughputTrace::from_csv("reloaded", csv);
   std::printf("CSV round trip: %zu samples -> %zu bytes -> %zu samples\n",
               cellular.sample_count(), csv.size(), reloaded.sample_count());
+  try {
+    net::ThroughputTrace::from_csv("bad", "0,1000\n1,900\n3,800\n");
+  } catch (const std::exception& e) {
+    std::printf("malformed capture rejected: %s\n", e.what());
+  }
+
+  // Finite traces and outages: a captured trace that simply *ends* models a
+  // link outage. advance() integrates the transfer exactly and reports
+  // whether it could complete at all.
+  auto finite = net::ThroughputTrace("capture", {1000.0, 1000.0, 1000.0}, 1.0).as_finite();
+  net::TransferResult ok = finite.advance(250000.0, 0.0);   // 2 Mbit in 3 s of capacity
+  net::TransferResult dead = finite.advance(250000.0, 2.0); // only 1 s left -> outage
+  std::printf("finite trace: 2 Mbit at t=0 -> %.1f s; at t=2 -> %s\n\n", ok.elapsed_s,
+              dead.completed ? "completed" : "outage (never completes)");
 
   // Rescaling and variance injection (the Figure 12b / 17 tools).
   auto scaled = cellular.scaled(0.5);

@@ -42,6 +42,9 @@ struct DpContext {
   }
 
   size_t clamp_time(double t) const {
+    // An outage upstream yields t = +inf; lround(inf) is unspecified, so
+    // pin it to the horizon's last bucket explicitly.
+    if (!std::isfinite(t)) return time_buckets - 1;
     auto bucket = static_cast<long>(std::lround(t / config->time_quantum_s));
     if (bucket < 0) bucket = 0;
     if (bucket >= static_cast<long>(time_buckets)) bucket = static_cast<long>(time_buckets) - 1;
@@ -188,6 +191,14 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
     rec.download_start_s = t;
 
     double dl = trace.download_time_s(rep.size_bytes, t);
+    if (!std::isfinite(dl)) {
+      // The link died mid-plan: truncate like the player does and surface
+      // the outage instead of accumulating infinite wall clocks.
+      sim::SessionResult truncated(video.source().name(), trace.name() + "-offline", ctx.tau,
+                                   std::move(records), startup);
+      truncated.set_outcome(sim::SessionOutcome::kOutage);
+      return truncated;
+    }
     rec.download_time_s = dl;
     t += dl;
     double stall = 0.0;

@@ -30,7 +30,9 @@ class ThroughputPredictor {
  public:
   virtual ~ThroughputPredictor() = default;
 
-  // Records an observed chunk download: bytes over elapsed seconds.
+  // Records an observed chunk download. The sample is the RTT-free goodput
+  // (bytes over wire time) the timeline engine measures — folding request
+  // dead time into the estimate would bias it low on small chunks.
   virtual void observe(double kbps) = 0;
 
   // Point estimate for the next chunks (Kbps).

@@ -1,6 +1,7 @@
 #include "net/trace.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,17 +11,31 @@
 namespace sensei::net {
 
 ThroughputTrace::ThroughputTrace(std::string name, std::vector<double> samples_kbps,
-                                 double interval_s)
-    : name_(std::move(name)), samples_(std::move(samples_kbps)), interval_s_(interval_s) {
+                                 double interval_s, bool finite)
+    : name_(std::move(name)),
+      samples_(std::move(samples_kbps)),
+      interval_s_(interval_s),
+      finite_(finite) {
   if (samples_.empty()) throw std::runtime_error("trace: no samples");
-  if (interval_s_ <= 0.0) throw std::runtime_error("trace: interval must be > 0");
+  if (!std::isfinite(interval_s_) || interval_s_ <= 0.0)
+    throw std::runtime_error("trace: interval must be finite and > 0");
   for (double s : samples_) {
-    if (s < 0.0) throw std::runtime_error("trace: negative throughput");
+    // !(s >= 0) also rejects NaN, which every ordinary comparison lets through.
+    if (!std::isfinite(s) || !(s >= 0.0))
+      throw std::runtime_error("trace: throughput must be finite and >= 0");
   }
 }
 
+ThroughputTrace ThroughputTrace::as_finite() const {
+  return ThroughputTrace(name_, samples_, interval_s_, true);
+}
+
 double ThroughputTrace::throughput_at(double t_s) const {
+  // A non-finite clock (e.g. the +inf wall time an outage produces) has no
+  // sample; casting it to an index would be UB. The link reads as dead.
+  if (!std::isfinite(t_s)) return 0.0;
   if (t_s < 0.0) t_s = 0.0;
+  if (finite_ && t_s >= duration_s()) return 0.0;
   auto idx = static_cast<size_t>(t_s / interval_s_);
   return samples_[idx % samples_.size()];
 }
@@ -29,24 +44,78 @@ double ThroughputTrace::mean_kbps() const { return util::mean(samples_); }
 
 double ThroughputTrace::stddev_kbps() const { return util::stddev(samples_); }
 
-double ThroughputTrace::download_time_s(double bytes, double start_s, double rtt_s) const {
-  if (bytes <= 0.0) return rtt_s;
+TransferResult ThroughputTrace::advance(double bytes, double start_s) const {
+  TransferResult result;
+  if (bytes <= 0.0) return result;
+  // A transfer "started" at non-finite time (downstream of an earlier
+  // outage) can never complete; walking from it would be UB in the index
+  // arithmetic below.
+  if (!std::isfinite(start_s)) {
+    result.completed = false;
+    result.elapsed_s = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  if (start_s < 0.0) start_s = 0.0;
+  // A start so far out that interval indices exceed the exactly-representable
+  // integer range cannot be walked reliably; such a clock only arises
+  // downstream of an earlier unbounded stall, so the link reads as dead.
+  if (start_s / interval_s_ >= 9.0e15) {
+    result.completed = false;
+    result.elapsed_s = std::numeric_limits<double>::infinity();
+    return result;
+  }
   double remaining_bits = bytes * 8.0;
   double t = start_s;
-  // Integrate the step function; guard against an all-zero trace stretch by
-  // capping the walk at 10,000 intervals (treat as stalled-forever).
-  for (int guard = 0; guard < 10000; ++guard) {
-    double kbps = throughput_at(t);
-    double interval_end = (std::floor(t / interval_s_) + 1.0) * interval_s_;
-    double span = interval_end - t;
-    double capacity_bits = kbps * 1000.0 * span;
-    if (kbps > 0.0 && capacity_bits >= remaining_bits) {
-      return (t - start_s) + remaining_bits / (kbps * 1000.0) + rtt_s;
+  // Integrate the step function interval by interval, walking an *integer*
+  // interval index (recomputing floor(t / interval) each step can reach a
+  // floating-point fixpoint for non-dyadic intervals — span 0, no progress,
+  // infinite loop). The walk terminates exactly: either some interval
+  // finishes the transfer, or the link is provably dead — a finite trace
+  // ran out, or a looping trace produced a full period of zero-capacity
+  // intervals (consecutive intervals cover every sample once per period,
+  // so a zero period means an all-zero trace).
+  auto idx = static_cast<size_t>(t / interval_s_);
+  size_t zero_intervals = 0;
+  while (true) {
+    if (finite_ && idx >= samples_.size()) {
+      result.completed = false;
+      result.elapsed_s = std::numeric_limits<double>::infinity();
+      return result;
     }
-    remaining_bits -= capacity_bits;
-    t = interval_end;
+    double interval_end = static_cast<double>(idx + 1) * interval_s_;
+    double span = interval_end - t;
+    if (span > 0.0) {
+      double kbps = samples_[idx % samples_.size()];
+      double capacity_bits = kbps * 1000.0 * span;
+      if (kbps > 0.0 && capacity_bits >= remaining_bits) {
+        result.elapsed_s = (t - start_s) + remaining_bits / (kbps * 1000.0);
+        return result;
+      }
+      if (kbps > 0.0) {
+        zero_intervals = 0;
+      } else if (++zero_intervals >= samples_.size() && !finite_) {
+        result.completed = false;
+        result.elapsed_s = std::numeric_limits<double>::infinity();
+        return result;
+      }
+      remaining_bits -= capacity_bits;
+      t = interval_end;
+    }
+    // span <= 0 happens only when the start landed at (or rounded past) an
+    // interval boundary: consume nothing and move to the next interval.
+    ++idx;
   }
-  return (t - start_s) + rtt_s;
+}
+
+double ThroughputTrace::download_time_s(double bytes, double start_s, double rtt_s) const {
+  // RTT is request dead time: it burns wall clock *before* the first byte
+  // and consumes no trace capacity, so the transfer integrates from
+  // start_s + rtt_s (not from start_s, which would let the request "use"
+  // link capacity it never touched).
+  if (bytes <= 0.0) return rtt_s;
+  TransferResult transfer = advance(bytes, start_s + rtt_s);
+  if (!transfer.completed) return std::numeric_limits<double>::infinity();
+  return rtt_s + transfer.elapsed_s;
 }
 
 ThroughputTrace ThroughputTrace::scaled(double factor, const std::string& new_name) const {
@@ -54,7 +123,7 @@ ThroughputTrace ThroughputTrace::scaled(double factor, const std::string& new_na
   std::vector<double> scaled_samples(samples_.size());
   for (size_t i = 0; i < samples_.size(); ++i) scaled_samples[i] = samples_[i] * factor;
   return ThroughputTrace(new_name.empty() ? name_ + "-x" + std::to_string(factor) : new_name,
-                         std::move(scaled_samples), interval_s_);
+                         std::move(scaled_samples), interval_s_, finite_);
 }
 
 ThroughputTrace ThroughputTrace::with_noise(double sigma_kbps, uint64_t seed,
@@ -64,7 +133,7 @@ ThroughputTrace ThroughputTrace::with_noise(double sigma_kbps, uint64_t seed,
   for (size_t i = 0; i < samples_.size(); ++i) {
     noisy[i] = std::max(floor_kbps, samples_[i] + rng.normal(0.0, sigma_kbps));
   }
-  return ThroughputTrace(name_ + "+noise", std::move(noisy), interval_s_);
+  return ThroughputTrace(name_ + "+noise", std::move(noisy), interval_s_, finite_);
 }
 
 std::string ThroughputTrace::to_csv() const {
@@ -76,21 +145,79 @@ std::string ThroughputTrace::to_csv() const {
   return os.str();
 }
 
+namespace {
+
+// Parses one numeric cell or throws with the trace name, 1-based line
+// number, and the offending text.
+double parse_cell(const std::string& name, size_t line_no, const std::string& text,
+                  const char* what) {
+  try {
+    size_t consumed = 0;
+    double value = std::stod(text, &consumed);
+    // Trailing garbage after the number ("1.5abc") is malformed too.
+    while (consumed < text.size() &&
+           (text[consumed] == ' ' || text[consumed] == '\t')) {
+      ++consumed;
+    }
+    if (consumed != text.size()) throw std::invalid_argument("trailing characters");
+    // std::stod happily parses "nan" and "inf"; both poison trace timing
+    // silently (NaN passes every ordered comparison downstream).
+    if (!std::isfinite(value)) throw std::invalid_argument("non-finite value");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("trace csv (" + name + ") line " + std::to_string(line_no) +
+                             ": malformed " + what + " '" + text + "'");
+  }
+}
+
+}  // namespace
+
 ThroughputTrace ThroughputTrace::from_csv(const std::string& name, const std::string& csv) {
   std::istringstream is(csv);
   std::string line;
   std::vector<double> times;
   std::vector<double> samples;
+  std::vector<size_t> line_of_row;
+  size_t line_no = 0;
+  auto fail = [&](const std::string& what) -> void {
+    throw std::runtime_error("trace csv (" + name + ") line " + std::to_string(line_no) +
+                             ": " + what);
+  };
   while (std::getline(is, line)) {
-    if (line.empty() || line.find("time_s") != std::string::npos) continue;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;                         // blank
+    if (line[first] == '#') continue;                                 // comment
+    if (line.find("time_s") != std::string::npos) continue;           // header
     auto comma = line.find(',');
-    if (comma == std::string::npos) continue;
-    times.push_back(std::stod(line.substr(0, comma)));
-    samples.push_back(std::stod(line.substr(comma + 1)));
+    if (comma == std::string::npos) fail("expected 'time_s,throughput_kbps'");
+    double t = parse_cell(name, line_no, line.substr(0, comma), "timestamp");
+    double kbps = parse_cell(name, line_no, line.substr(comma + 1), "throughput");
+    if (kbps < 0.0) fail("negative throughput " + std::to_string(kbps));
+    if (!times.empty() && t <= times.back()) {
+      fail("non-monotonic timestamp " + std::to_string(t) + " after " +
+           std::to_string(times.back()));
+    }
+    times.push_back(t);
+    samples.push_back(kbps);
+    line_of_row.push_back(line_no);
   }
   if (samples.empty()) throw std::runtime_error("trace: empty csv");
-  double interval = times.size() >= 2 ? times[1] - times[0] : 1.0;
-  if (interval <= 0.0) interval = 1.0;
+  double interval = 1.0;
+  if (times.size() >= 2) {
+    interval = times[1] - times[0];
+    // The step-function model needs uniform spacing; a single irregular gap
+    // would silently mistime every later sample, so reject it loudly.
+    for (size_t i = 2; i < times.size(); ++i) {
+      double gap = times[i] - times[i - 1];
+      if (std::abs(gap - interval) > 1e-6 * std::max(1.0, std::abs(interval))) {
+        line_no = line_of_row[i];
+        fail("non-uniform timestamp spacing " + std::to_string(gap) + " (expected " +
+             std::to_string(interval) + ")");
+      }
+    }
+  }
   return ThroughputTrace(name, std::move(samples), interval);
 }
 

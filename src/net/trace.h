@@ -1,8 +1,17 @@
 // Network throughput traces.
 //
 // A trace is a step function: samples[i] holds the link throughput (Kbps)
-// over [i * interval_s, (i+1) * interval_s). Traces wrap around when a
-// session outlives them, following common practice in ABR simulators.
+// over [i * interval_s, (i+1) * interval_s). By default traces *loop* when a
+// session outlives them, following common practice in ABR simulators; a
+// trace can instead be marked *finite*, in which case the link is dead
+// (0 Kbps) past `duration_s()` — finite traces model outages, captured
+// real-world files, and live sessions that end.
+//
+// Transfers are integrated exactly by `advance()`: it walks the step
+// function interval by interval and either completes, or reports an
+// *outage* — the link has no capacity left, ever (an all-zero looping
+// trace, or a finite trace exhausted mid-transfer). There is no walk cap
+// that could silently fake a completed download.
 #pragma once
 
 #include <string>
@@ -10,10 +19,21 @@
 
 namespace sensei::net {
 
+// Outcome of integrating one transfer over the trace step function.
+struct TransferResult {
+  // Wall-clock seconds from transfer start until the last byte. On an
+  // outage this is +infinity (the stall never ends).
+  double elapsed_s = 0.0;
+  // False when the link died: every remaining instant of the trace has zero
+  // capacity (all-zero looping trace or exhausted finite trace).
+  bool completed = true;
+};
+
 class ThroughputTrace {
  public:
   ThroughputTrace() = default;
-  ThroughputTrace(std::string name, std::vector<double> samples_kbps, double interval_s = 1.0);
+  ThroughputTrace(std::string name, std::vector<double> samples_kbps, double interval_s = 1.0,
+                  bool finite = false);
 
   const std::string& name() const { return name_; }
   double interval_s() const { return interval_s_; }
@@ -21,15 +41,28 @@ class ThroughputTrace {
   const std::vector<double>& samples_kbps() const { return samples_; }
   double duration_s() const { return interval_s_ * static_cast<double>(samples_.size()); }
 
-  // Instantaneous throughput at time t (wraps past the end).
+  // Finite traces do not loop: throughput past duration_s() is 0 and a
+  // transfer still in flight there is an outage.
+  bool finite() const { return finite_; }
+  // Returns a copy of this trace with finite (non-looping) semantics.
+  ThroughputTrace as_finite() const;
+
+  // Instantaneous throughput at time t (wraps past the end unless finite).
   double throughput_at(double t_s) const;
 
   // Mean and population stddev over all samples.
   double mean_kbps() const;
   double stddev_kbps() const;
 
-  // Simulates downloading `bytes` starting at `start_s`; returns the elapsed
-  // seconds, integrating the step function exactly (plus a fixed RTT).
+  // Exact event integrator: simulates transferring `bytes` starting at
+  // `start_s`, walking the step function until the last byte or an outage.
+  // RTT is *not* included — request dead time consumes wall clock but no
+  // trace capacity, so callers place it before the transfer start.
+  TransferResult advance(double bytes, double start_s) const;
+
+  // Convenience wrapper: rtt_s of request dead time, then the transfer
+  // (starting at start_s + rtt_s). Returns total elapsed seconds, or
+  // +infinity if the transfer hits an outage.
   double download_time_s(double bytes, double start_s, double rtt_s = 0.08) const;
 
   // Returns a copy scaled by `factor` (used for the bandwidth-ratio sweeps).
@@ -41,7 +74,10 @@ class ThroughputTrace {
   ThroughputTrace with_noise(double sigma_kbps, uint64_t seed,
                              double floor_kbps = 50.0) const;
 
-  // CSV persistence: one "time_s,kbps" row per sample.
+  // CSV persistence: one "time_s,kbps" row per sample. from_csv validates
+  // the file: timestamps must be strictly increasing and uniformly spaced,
+  // cells must parse as numbers; violations raise with the 1-based line
+  // number. Blank lines and '#' comments are skipped.
   std::string to_csv() const;
   static ThroughputTrace from_csv(const std::string& name, const std::string& csv);
 
@@ -49,6 +85,7 @@ class ThroughputTrace {
   std::string name_;
   std::vector<double> samples_;  // Kbps
   double interval_s_ = 1.0;
+  bool finite_ = false;
 };
 
 }  // namespace sensei::net

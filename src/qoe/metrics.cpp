@@ -1,5 +1,8 @@
 #include "qoe/metrics.h"
 
+#include <algorithm>
+
+#include "sim/timeline.h"
 #include "util/stats.h"
 
 namespace sensei::qoe {
@@ -33,6 +36,24 @@ double discordant_pair_fraction(const std::vector<AbrRankingCell>& cells) {
     }
   }
   return comparable ? static_cast<double>(discordant) / static_cast<double>(comparable) : 0.0;
+}
+
+StallProfile stall_profile(const sim::SessionTimeline& timeline) {
+  StallProfile profile;
+  profile.per_chunk_stall_s.reserve(timeline.chunks().size());
+  for (const auto& c : timeline.chunks()) {
+    profile.per_chunk_stall_s.push_back(c.stall_s + c.scheduled_pause_s);
+    profile.unscheduled_stall_s += c.stall_s;
+    profile.scheduled_pause_s += c.scheduled_pause_s;
+    if (c.stall_s > 0.0) {
+      ++profile.stall_event_count;
+      profile.longest_stall_s = std::max(profile.longest_stall_s, c.stall_s);
+      if (profile.first_stall_wall_s < 0.0) profile.first_stall_wall_s = c.stall_start_wall_s;
+    }
+  }
+  profile.total_stall_s = profile.unscheduled_stall_s + profile.scheduled_pause_s;
+  profile.ended_in_outage = timeline.outcome() == sim::SessionOutcome::kOutage;
+  return profile;
 }
 
 }  // namespace sensei::qoe

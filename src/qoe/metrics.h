@@ -1,11 +1,16 @@
 // Evaluation metrics for QoE models: prediction accuracy (relative error,
-// PLCC, SRCC, RMSE) and the discordant-pair rate for ABR ranking (Figure 2).
+// PLCC, SRCC, RMSE), the discordant-pair rate for ABR ranking (Figure 2),
+// and stall attribution over the exact session timeline.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "qoe/qoe_model.h"
+
+namespace sensei::sim {
+class SessionTimeline;  // sim/timeline.h
+}
 
 namespace sensei::qoe {
 
@@ -33,5 +38,25 @@ struct AbrRankingCell {
 // unordered pair of ABRs whose true ordering differs from the predicted
 // ordering counts as discordant (ties skipped), as in Figure 2's y-axis.
 double discordant_pair_fraction(const std::vector<AbrRankingCell>& cells);
+
+// Per-chunk stall attribution read off the exact session timeline. SENSEI's
+// premise is that QoE hinges on *where* a stall lands; this is the
+// chunk-accurate ground truth the weighted models consume — each stall is
+// attributed to the chunk whose download starved the buffer, with its exact
+// wall-clock onset preserved.
+struct StallProfile {
+  // One entry per completed chunk: unscheduled stall + scheduled pause
+  // charged before that chunk plays (== RenderedChunk::rebuffer_s).
+  std::vector<double> per_chunk_stall_s;
+  double total_stall_s = 0.0;        // unscheduled + scheduled
+  double unscheduled_stall_s = 0.0;
+  double scheduled_pause_s = 0.0;
+  size_t stall_event_count = 0;      // chunks with any unscheduled stall
+  double longest_stall_s = 0.0;      // longest single unscheduled stall
+  double first_stall_wall_s = -1.0;  // onset of the first unscheduled stall
+  bool ended_in_outage = false;      // session truncated by a dead link
+};
+
+StallProfile stall_profile(const sim::SessionTimeline& timeline);
 
 }  // namespace sensei::qoe

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/timeline.h"
+
 namespace sensei::sim {
 
 Player::Player(PlayerConfig config) : config_(config) {
@@ -12,6 +14,24 @@ Player::Player(PlayerConfig config) : config_(config) {
 SessionResult Player::stream(const media::EncodedVideo& video,
                              const net::ThroughputTrace& trace, AbrPolicy& policy,
                              const std::vector<double>& weights) const {
+  if (config_.engine == TimingEngine::kLegacy) {
+    return stream_legacy(video, trace, policy, weights);
+  }
+  return stream_timeline(config_, video, trace, policy, weights);
+}
+
+// The pre-timeline accounting loop, kept as the reference for the
+// bit-identity equivalence gate (tests/test_timeline.cpp, which runs it at
+// rtt_s = 0 on no-outage traces). It keeps two old bugs on purpose: RTT is
+// folded into the goodput estimate and a dead link yields unbounded
+// download times rather than a typed outage/truncation — and it carries no
+// trajectory. Note the trace-level fixes underneath it are global: with
+// rtt_s > 0 even this loop sees the corrected RTT placement
+// (ThroughputTrace::download_time_s), so it reproduces pre-timeline
+// results only at rtt_s = 0.
+SessionResult Player::stream_legacy(const media::EncodedVideo& video,
+                                    const net::ThroughputTrace& trace, AbrPolicy& policy,
+                                    const std::vector<double>& weights) const {
   if (video.num_chunks() == 0) throw std::runtime_error("player: empty video");
   if (!weights.empty() && weights.size() != video.num_chunks())
     throw std::runtime_error("player: weight vector size mismatch");

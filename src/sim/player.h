@@ -10,6 +10,13 @@
 // downloads continue — in buffer terms, the buffer level is credited by the
 // pause length and the pause is charged to the next chunk's stall time
 // (exactly how SENSEI-Pensieve's "increment the buffer state" is described).
+//
+// Session timing is owned by the exact event-driven timeline engine
+// (sim/timeline.h), the default. The pre-timeline accounting loop is kept
+// frozen behind `PlayerConfig::engine = TimingEngine::kLegacy` purely as
+// the reference for the bit-identity equivalence gate
+// (tests/test_timeline.cpp); it retains the old bugs by design (RTT folded
+// into the goodput estimate, no outage detection, no trajectory).
 #pragma once
 
 #include <memory>
@@ -18,6 +25,7 @@
 #include "media/encoder.h"
 #include "net/trace.h"
 #include "sim/session.h"
+#include "sim/timeline.h"
 
 namespace sensei::sim {
 
@@ -27,13 +35,22 @@ struct AbrObservation {
   size_t num_chunks = 0;
   double buffer_s = 0.0;
   size_t last_level = 0;
-  double last_throughput_kbps = 0.0;          // measured over the last download
-  double last_download_time_s = 0.0;
+  double last_throughput_kbps = 0.0;          // goodput of the last download (RTT excluded)
+  double last_download_time_s = 0.0;          // wall time incl. RTT
   std::vector<double> throughput_history_kbps;  // most recent last
   const media::EncodedVideo* video = nullptr;
   // Sensitivity weights for chunks [next_chunk, next_chunk + h); empty when
   // the manifest carries none (weight-unaware ABRs simply ignore it).
   std::vector<double> future_weights;
+
+  // --- session trajectory context (timeline engine only; the legacy
+  // engine leaves these at their defaults) ---------------------------------
+  double wall_clock_s = 0.0;     // seconds since the session began
+  double playhead_s = 0.0;       // media seconds rendered so far
+  double total_stall_s = 0.0;    // cumulative stall (unscheduled + scheduled)
+  double last_rtt_s = 0.0;       // request dead time of the last download
+  // The exact per-chunk trajectory so far (nullptr under the legacy engine).
+  const SessionTimeline* timeline = nullptr;
 };
 
 struct AbrDecision {
@@ -51,12 +68,19 @@ class AbrPolicy {
   virtual AbrDecision decide(const AbrObservation& obs) = 0;
 };
 
+// Which accounting loop realizes the session timing.
+enum class TimingEngine {
+  kTimeline,  // exact event-driven engine (sim/timeline.h) — the default
+  kLegacy,    // frozen pre-timeline loop, kept as the equivalence baseline
+};
+
 struct PlayerConfig {
   double max_buffer_s = 30.0;
   double rtt_s = 0.08;
   size_t throughput_history_len = 8;
   // Sensitivity look-ahead horizon handed to the ABR (paper picks h = 5).
   size_t weight_horizon = 5;
+  TimingEngine engine = TimingEngine::kTimeline;
 };
 
 class Player {
@@ -65,11 +89,19 @@ class Player {
 
   // Streams `video` over `trace` under `policy`. `weights` (optional) is the
   // per-chunk sensitivity vector distributed via the manifest; slices of it
-  // are exposed to the policy each decision.
+  // are exposed to the policy each decision. Under the timeline engine the
+  // returned session carries the exact trajectory (SessionResult::timeline())
+  // and, on a dead link, truncates with SessionOutcome::kOutage.
   SessionResult stream(const media::EncodedVideo& video, const net::ThroughputTrace& trace,
                        AbrPolicy& policy, const std::vector<double>& weights = {}) const;
 
+  const PlayerConfig& config() const { return config_; }
+
  private:
+  SessionResult stream_legacy(const media::EncodedVideo& video,
+                              const net::ThroughputTrace& trace, AbrPolicy& policy,
+                              const std::vector<double>& weights) const;
+
   PlayerConfig config_;
 };
 

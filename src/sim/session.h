@@ -1,6 +1,7 @@
 // Streaming-session records produced by the player simulator.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,13 @@
 #include "sim/render.h"
 
 namespace sensei::sim {
+
+class SessionTimeline;  // sim/timeline.h
+
+// How a session ended. kOutage: a chunk's download could never complete —
+// the link died (all-zero trace stretch with no recovery, or a finite
+// trace exhausted mid-transfer) and the session truncates at that chunk.
+enum class SessionOutcome { kCompleted, kOutage };
 
 struct ChunkRecord {
   size_t index = 0;
@@ -45,12 +53,29 @@ class SessionResult {
   // by the ground-truth oracle / QoE models.
   RenderedVideo to_rendered(const media::EncodedVideo& video) const;
 
+  // --- exact trajectory (timeline engine) ---------------------------------
+
+  // kOutage when the session was cut short by a dead link; the surviving
+  // chunk records cover everything downloaded before the outage.
+  SessionOutcome outcome() const { return outcome_; }
+  void set_outcome(SessionOutcome outcome) { outcome_ = outcome; }
+
+  // The full playhead/buffer trajectory, when the session was produced by
+  // the timeline engine (nullptr from the frozen legacy engine). Shared so
+  // copying grid results stays cheap.
+  const SessionTimeline* timeline() const { return timeline_.get(); }
+  void set_timeline(std::shared_ptr<const SessionTimeline> timeline) {
+    timeline_ = std::move(timeline);
+  }
+
  private:
   std::string video_name_;
   std::string trace_name_;
   double chunk_duration_s_ = 4.0;
   std::vector<ChunkRecord> chunks_;
   double startup_delay_s_ = 0.0;
+  SessionOutcome outcome_ = SessionOutcome::kCompleted;
+  std::shared_ptr<const SessionTimeline> timeline_;
 };
 
 }  // namespace sensei::sim

@@ -1,0 +1,353 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/player.h"
+
+namespace sensei::sim {
+
+const char* to_string(TimelineEventKind kind) {
+  switch (kind) {
+    case TimelineEventKind::kStartupWait: return "startup";
+    case TimelineEventKind::kRttWait: return "rtt";
+    case TimelineEventKind::kTransfer: return "transfer";
+    case TimelineEventKind::kStall: return "stall";
+    case TimelineEventKind::kScheduledPause: return "scheduled-pause";
+    case TimelineEventKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+SessionTimeline::SessionTimeline(double chunk_duration_s, double rtt_s)
+    : chunk_duration_s_(chunk_duration_s), rtt_s_(rtt_s) {}
+
+void SessionTimeline::mark_outage(size_t chunk, double wall_s) {
+  outcome_ = SessionOutcome::kOutage;
+  outage_chunk_ = chunk;
+  outage_wall_s_ = wall_s;
+}
+
+double SessionTimeline::duration_s() const {
+  if (chunks_.empty()) return 0.0;
+  return chunks_.back().arrival_wall_s + chunks_.back().idle_s;
+}
+
+double SessionTimeline::total_stall_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.stall_s + c.scheduled_pause_s;
+  return total;
+}
+
+double SessionTimeline::total_unscheduled_stall_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.stall_s;
+  return total;
+}
+
+double SessionTimeline::total_scheduled_pause_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.scheduled_pause_s;
+  return total;
+}
+
+double SessionTimeline::total_idle_s() const {
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.idle_s;
+  return total;
+}
+
+double SessionTimeline::first_stall_wall_s() const {
+  for (const auto& c : chunks_) {
+    if (c.stall_s > 0.0) return c.stall_start_wall_s;
+  }
+  return -1.0;
+}
+
+std::vector<TimelineEvent> SessionTimeline::events() const {
+  std::vector<TimelineEvent> out;
+  for (const auto& c : chunks_) {
+    const bool first = c.chunk == 0;
+    // Buffer levels at the phase boundaries. Before startup completes the
+    // buffer holds media but playback has not begun, so nothing drains.
+    double post_rtt = first ? 0.0 : std::max(c.buffer_before_s - c.rtt_s, 0.0);
+    double post_transfer =
+        first ? 0.0 : std::max(c.buffer_before_s - (c.rtt_s + c.transfer_s), 0.0);
+    if (first) {
+      out.push_back({TimelineEventKind::kStartupWait, c.chunk, c.request_wall_s,
+                     startup_delay_s_, 0.0, 0.0});
+    }
+    if (c.rtt_s > 0.0) {
+      out.push_back({TimelineEventKind::kRttWait, c.chunk, c.request_wall_s, c.rtt_s,
+                     c.buffer_before_s, post_rtt});
+    }
+    if (c.transfer_s > 0.0) {
+      out.push_back({TimelineEventKind::kTransfer, c.chunk, c.request_wall_s + c.rtt_s,
+                     c.transfer_s, post_rtt, post_transfer});
+    }
+    if (c.stall_s > 0.0) {
+      out.push_back({TimelineEventKind::kStall, c.chunk, c.stall_start_wall_s, c.stall_s,
+                     0.0, 0.0});
+    }
+    if (c.scheduled_pause_s > 0.0) {
+      out.push_back({TimelineEventKind::kScheduledPause, c.chunk, c.arrival_wall_s,
+                     c.scheduled_pause_s, post_transfer, post_transfer + c.scheduled_pause_s});
+    }
+    if (c.idle_s > 0.0) {
+      out.push_back({TimelineEventKind::kIdle, c.chunk, c.arrival_wall_s, c.idle_s,
+                     c.buffer_after_s + c.idle_s, c.buffer_after_s});
+    }
+  }
+  return out;
+}
+
+bool SessionTimeline::check_invariants(std::string* why) const {
+  auto violate = [&](size_t chunk, const std::string& what) {
+    if (why) {
+      std::ostringstream os;
+      os << "chunk " << chunk << ": " << what;
+      *why = os.str();
+    }
+    return false;
+  };
+  const double eps = 1e-9;
+  double scheduled_cum = 0.0;
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const auto& c = chunks_[i];
+    if (c.chunk != i) return violate(i, "non-consecutive chunk index");
+    if (c.rtt_s < 0.0 || c.transfer_s < 0.0 || c.stall_s < 0.0 ||
+        c.scheduled_pause_s < 0.0 || c.idle_s < 0.0) {
+      return violate(i, "negative span");
+    }
+    if (c.buffer_before_s < 0.0 || c.buffer_after_s < 0.0) {
+      return violate(i, "negative buffer");
+    }
+    double dl = c.rtt_s + c.transfer_s;
+    if (std::abs(c.arrival_wall_s - (c.request_wall_s + dl)) > eps * (1.0 + c.arrival_wall_s)) {
+      return violate(i, "arrival != request + rtt + transfer");
+    }
+    if (c.stall_s > 0.0 &&
+        std::abs(c.stall_start_wall_s - (c.arrival_wall_s - c.stall_s)) >
+            eps * (1.0 + c.arrival_wall_s)) {
+      return violate(i, "stall not anchored at arrival - stall");
+    }
+    if (i > 0) {
+      const auto& p = chunks_[i - 1];
+      if (std::abs(c.request_wall_s - (p.arrival_wall_s + p.idle_s)) >
+          eps * (1.0 + c.request_wall_s)) {
+        return violate(i, "request does not continue previous chunk's window");
+      }
+      if (c.buffer_before_s != p.buffer_after_s) {
+        return violate(i, "buffer discontinuity between chunks");
+      }
+      if (c.playhead_before_s != p.playhead_after_s) {
+        return violate(i, "playhead discontinuity between chunks");
+      }
+    }
+    // Media conservation. The credited buffer holds stored media *plus* the
+    // outstanding pause debt (a pause is credited at decision time but
+    // served later), so: rendered + buffer - debt == media arrived.
+    scheduled_cum += c.scheduled_pause_s;
+    double arrived = static_cast<double>(i + 1) * chunk_duration_s_;
+    if (c.pause_debt_after_s < 0.0 || c.pause_debt_after_s > scheduled_cum + eps) {
+      return violate(i, "pause debt exceeds scheduled pauses");
+    }
+    if (std::abs(c.playhead_after_s + c.buffer_after_s - c.pause_debt_after_s - arrived) >
+        1e-6 * (1.0 + arrived)) {
+      return violate(i, "playhead + buffer - pause debt != media arrived");
+    }
+    if (c.playhead_after_s + eps < c.playhead_before_s) {
+      return violate(i, "playhead moved backwards");
+    }
+  }
+  if (outcome_ == SessionOutcome::kOutage && outage_chunk_ != chunks_.size()) {
+    return violate(outage_chunk_, "outage chunk does not follow the last completed chunk");
+  }
+  return true;
+}
+
+SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVideo& video,
+                              const net::ThroughputTrace& trace, AbrPolicy& policy,
+                              const std::vector<double>& weights) {
+  if (video.num_chunks() == 0) throw std::runtime_error("player: empty video");
+  if (!weights.empty() && weights.size() != video.num_chunks())
+    throw std::runtime_error("player: weight vector size mismatch");
+
+  policy.begin_session(video);
+
+  const double tau = video.chunk_duration_s();
+  const size_t n = video.num_chunks();
+  const size_t levels = video.ladder().level_count();
+
+  auto timeline = std::make_shared<SessionTimeline>(tau, config.rtt_s);
+
+  double wall_clock_s = 0.0;
+  double buffer_s = 0.0;
+  double playhead_s = 0.0;
+  double pause_debt_s = 0.0;  // scheduled pause seconds not yet served
+  double total_stall_s = 0.0;
+  double startup_delay_s = 0.0;
+  size_t last_level = 0;
+  double last_throughput = 0.0;
+  double last_download_time = 0.0;
+  std::vector<double> history;
+
+  std::vector<ChunkRecord> records;
+  records.reserve(n);
+  bool outage = false;
+
+  for (size_t i = 0; i < n; ++i) {
+    AbrObservation obs;
+    obs.next_chunk = i;
+    obs.num_chunks = n;
+    obs.buffer_s = buffer_s;
+    obs.last_level = last_level;
+    obs.last_throughput_kbps = last_throughput;
+    obs.last_download_time_s = last_download_time;
+    obs.throughput_history_kbps = history;
+    obs.video = &video;
+    if (!weights.empty()) {
+      size_t end = std::min(n, i + config.weight_horizon);
+      obs.future_weights.assign(weights.begin() + static_cast<long>(i),
+                                weights.begin() + static_cast<long>(end));
+    }
+    obs.wall_clock_s = wall_clock_s;
+    obs.playhead_s = playhead_s;
+    obs.total_stall_s = total_stall_s;
+    obs.last_rtt_s = i > 0 ? config.rtt_s : 0.0;
+    obs.timeline = timeline.get();
+
+    AbrDecision decision = policy.decide(obs);
+    if (decision.level >= levels) decision.level = levels - 1;
+    double scheduled = std::max(0.0, decision.scheduled_rebuffer_s);
+
+    const auto& rep = video.rep(i, decision.level);
+
+    // RTT first (dead wall clock, no trace capacity), then the transfer.
+    net::TransferResult transfer = trace.advance(rep.size_bytes, wall_clock_s + config.rtt_s);
+    if (!transfer.completed) {
+      // The link died: this chunk can never arrive. Truncate the session
+      // and surface the outage instead of faking a completed download.
+      timeline->mark_outage(i, wall_clock_s);
+      outage = true;
+      break;
+    }
+    double dl = config.rtt_s + transfer.elapsed_s;
+
+    ChunkRecord rec;
+    rec.index = i;
+    rec.level = decision.level;
+    rec.bitrate_kbps = rep.bitrate_kbps;
+    rec.size_bytes = rep.size_bytes;
+    rec.visual_quality = rep.visual_quality;
+    rec.download_start_s = wall_clock_s;
+    rec.download_time_s = dl;
+
+    ChunkTrajectory traj;
+    traj.chunk = i;
+    traj.level = decision.level;
+    traj.request_wall_s = wall_clock_s;
+    traj.rtt_s = config.rtt_s;
+    traj.transfer_s = transfer.elapsed_s;
+    traj.buffer_before_s = buffer_s;
+    traj.playhead_before_s = playhead_s;
+
+    wall_clock_s += dl;
+    traj.arrival_wall_s = wall_clock_s;
+
+    // Outstanding scheduled-pause debt (from earlier decisions) freezes
+    // playback across this download window before anything else can play.
+    double pause_served_in_window = std::min(pause_debt_s, dl);
+    pause_debt_s -= pause_served_in_window;
+
+    double stall = 0.0;
+    if (i == 0) {
+      // Startup: the first chunk's download (and any scheduled pre-roll
+      // wait) is join latency, not a stall.
+      startup_delay_s = dl + scheduled;
+      buffer_s = tau;
+    } else {
+      // Buffer drains in real time across the whole download (RTT wait
+      // included — playback does not know the request is still in flight).
+      if (dl > buffer_s) {
+        stall = dl - buffer_s;
+        buffer_s = 0.0;
+      } else {
+        buffer_s -= dl;
+      }
+      traj.stall_s = stall;
+      if (stall > 0.0) traj.stall_start_wall_s = traj.arrival_wall_s - stall;
+      // Scheduled pause: playback halts, downloads continue — the buffer is
+      // credited with the pause and the pause is charged as a stall.
+      if (scheduled > 0.0) {
+        buffer_s += scheduled;
+        stall += scheduled;
+        traj.scheduled_pause_s = scheduled;
+        pause_debt_s += scheduled;
+      }
+      buffer_s += tau;
+    }
+    rec.scheduled_rebuffer_s = (i == 0) ? 0.0 : scheduled;
+    rec.rebuffer_s = stall;
+    total_stall_s += stall;
+
+    // Buffer cap: the client idles (wall clock advances, buffer drains by the
+    // same amount) until there is room for the next chunk.
+    if (buffer_s > config.max_buffer_s) {
+      double idle = buffer_s - config.max_buffer_s;
+      wall_clock_s += idle;
+      buffer_s = config.max_buffer_s;
+      traj.idle_s = idle;
+    }
+    rec.buffer_after_s = buffer_s;
+    traj.buffer_after_s = buffer_s;
+
+    // Idle time also serves outstanding pause debt (the viewer is frozen
+    // either way; whatever remains frozen keeps the buffer from draining).
+    double idle_play = traj.idle_s;
+    if (pause_debt_s > 0.0 && traj.idle_s > 0.0) {
+      double served_in_idle = std::min(pause_debt_s, traj.idle_s);
+      pause_debt_s -= served_in_idle;
+      idle_play = traj.idle_s - served_in_idle;
+    }
+    traj.pause_debt_after_s = pause_debt_s;
+
+    // Playhead integration: playback runs across the download window except
+    // while stalled (buffer empty) or serving scheduled-pause debt, and
+    // across whatever idle time is not pause-frozen. The credited buffer
+    // always holds stored media + outstanding debt, so this difference is
+    // exactly non-negative; in pause-free sessions it reduces to the
+    // conservation identity playhead == media arrived - buffer.
+    double play_time =
+        i == 0 ? 0.0 : std::max(0.0, dl - traj.stall_s - pause_served_in_window);
+    playhead_s += play_time + idle_play;
+    traj.playhead_after_s = playhead_s;
+
+    // Goodput over the transfer alone — the RTT consumed no link capacity,
+    // so folding it in would bias every predictor low on small chunks.
+    last_throughput =
+        transfer.elapsed_s > 0.0 ? rep.size_bytes * 8.0 / 1000.0 / transfer.elapsed_s : 0.0;
+    traj.goodput_kbps = last_throughput;
+    last_download_time = dl;
+    last_level = decision.level;
+    history.push_back(last_throughput);
+    if (history.size() > config.throughput_history_len)
+      history.erase(history.begin());
+
+    timeline->push_chunk(traj);
+    records.push_back(rec);
+  }
+
+  timeline->set_startup_delay(startup_delay_s);
+
+  SessionResult result(video.source().name(), trace.name(), tau, std::move(records),
+                       startup_delay_s);
+  if (outage) result.set_outcome(SessionOutcome::kOutage);
+  result.set_timeline(std::move(timeline));
+  return result;
+}
+
+}  // namespace sensei::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "abr/bba.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
@@ -91,6 +93,21 @@ TEST_F(OfflineTest, FirstChunkIsStartupNotStall) {
   auto s = plan_offline(video_, trace_, ones_);
   EXPECT_GT(s.startup_delay_s(), 0.0);
   EXPECT_DOUBLE_EQ(s.chunks()[0].rebuffer_s, 0.0);
+}
+
+TEST_F(OfflineTest, DeadLinkTruncatesWithOutage) {
+  // A finite trace that ends mid-video: the replay must truncate with a
+  // typed outage (like the player) instead of accumulating infinite wall
+  // clocks through the quantized DP.
+  net::ThroughputTrace cliff =
+      net::ThroughputTrace("cliff", std::vector<double>(40, 3000.0), 1.0).as_finite();
+  auto s = plan_offline(video_, cliff, ones_);
+  EXPECT_EQ(s.outcome(), sim::SessionOutcome::kOutage);
+  EXPECT_LT(s.chunks().size(), video_.num_chunks());
+  for (const auto& c : s.chunks()) {
+    EXPECT_TRUE(std::isfinite(c.download_time_s));
+    EXPECT_TRUE(std::isfinite(c.rebuffer_s));
+  }
 }
 
 TEST_F(OfflineTest, MoreBandwidthNeverHurtsMuch) {
