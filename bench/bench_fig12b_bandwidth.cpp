@@ -54,6 +54,7 @@ double scale_for_target(const std::vector<double>& scales, const std::vector<dou
 int main(int argc, char** argv) {
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
   const abr::PlannerKind planner = bench::planner_arg(argc, argv);
+  bench::trace_integration_arg(argc, argv);
 
   net::ThroughputTrace base_trace = Experiments::traces()[6];  // ~2.7 Mbps broadband
   const std::vector<double> scales = {0.2, 0.35, 0.5, 0.65, 0.8, 1.0};

@@ -19,6 +19,7 @@ using core::Experiments;
 int main(int argc, char** argv) {
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
   const abr::PlannerKind planner = bench::planner_arg(argc, argv);
+  bench::trace_integration_arg(argc, argv);
 
   const auto& videos = Experiments::videos();
   const auto& traces = Experiments::traces();

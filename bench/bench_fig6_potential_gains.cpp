@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "abr/offline_optimal.h"
+#include "bench_util.h"
 #include "core/experiments.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -13,7 +14,10 @@
 using namespace sensei;
 using core::Experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  // plan_offline probes the trace at every DP node; the integration mode
+  // (`--trace-integration indexed|walker`) must not change a digit.
+  bench::trace_integration_arg(argc, argv);
   const auto& videos = Experiments::videos();
   const auto& oracle = Experiments::oracle();
   const auto& weights = Experiments::weights();

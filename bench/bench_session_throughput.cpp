@@ -1,0 +1,395 @@
+// Whole-session throughput bench: sessions/s and ns/chunk are the unit of
+// cost at evaluation scale (thousands of simulated sessions per figure
+// grid), so this bench tracks them directly, indexed trace integration vs
+// the linear reference walker. It also microbenches ThroughputTrace::
+// advance() across trace lengths, over a pinned-seed probe mix spanning
+// chunk-scale to session-scale transfers plus dead-link classification.
+// Emits machine-readable BENCH_session.json (schema in bench/README.md).
+//
+//   ./bench_session_throughput              full sweep (~1 min)
+//   ./bench_session_throughput --smoke      reduced sweep for CI (~5 s)
+//   ./bench_session_throughput --out FILE   JSON destination
+//   ./bench_session_throughput --threads N  worker-pool size for the grids
+//
+// Results of the two integration modes are cross-checked while timing; any
+// elapsed_s/dead-link/ session-output mismatch fails the process (the same
+// contract tests/test_trace_index.cpp enforces).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/fugu.h"
+#include "abr/rate_based.h"
+#include "bench_util.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "net/trace.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "util/rng.h"
+
+using namespace sensei;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- advance() microbench --------------------------------------------------
+
+// Cellular-like looping trace with zero-run fades, `intervals` samples.
+net::ThroughputTrace fade_trace(size_t intervals, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(intervals);
+  while (samples.size() < intervals) {
+    size_t run = static_cast<size_t>(rng.uniform_int(1, 30));
+    bool fade = rng.chance(0.25);
+    for (size_t i = 0; i < run && samples.size() < intervals; ++i) {
+      samples.push_back(fade ? 0.0 : rng.uniform(100.0, 5000.0));
+    }
+  }
+  return net::ThroughputTrace("fade-" + std::to_string(intervals), std::move(samples), 1.0);
+}
+
+struct Probe {
+  double bytes;
+  double start_s;
+};
+
+// Pinned-seed probe mix: chunk-scale (sub-second), multi-interval, and
+// session-scale transfers (a sizable fraction of the trace's total
+// capacity — the distribution a whole session integrates over), plus
+// probes on the finite variant that run off the end (dead-link
+// classification).
+std::vector<Probe> make_probes(const net::ThroughputTrace& trace, size_t count,
+                               uint64_t seed) {
+  util::Rng rng(seed);
+  double capacity_bytes = trace.mean_kbps() * 1000.0 * trace.duration_s() / 8.0;
+  std::vector<Probe> probes;
+  probes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double frac;
+    switch (i % 4) {
+      case 0: frac = rng.uniform(1e-5, 1e-3); break;   // one chunk
+      case 1: frac = rng.uniform(1e-3, 3e-2); break;   // a few intervals
+      case 2: frac = rng.uniform(0.05, 0.40); break;   // minutes of media
+      default: frac = rng.uniform(0.40, 0.90); break;  // session-scale
+    }
+    probes.push_back({frac * capacity_bytes, rng.uniform(0.0, trace.duration_s())});
+  }
+  return probes;
+}
+
+double time_advances_ns(const net::ThroughputTrace& looping,
+                        const net::ThroughputTrace& finite,
+                        const std::vector<Probe>& probes, net::TraceIntegration mode,
+                        size_t reps, double* checksum) {
+  double start = now_s();
+  double sum = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    for (const auto& p : probes) {
+      net::TransferResult a = looping.advance(p.bytes, p.start_s, mode);
+      sum += a.completed ? a.elapsed_s : -1.0;
+      // The finite variant exercises exhaustion/outage classification for
+      // the large probes and early completion for the small ones.
+      net::TransferResult b = finite.advance(p.bytes, p.start_s, mode);
+      sum += b.completed ? b.elapsed_s : -1.0;
+    }
+  }
+  double total_ns = (now_s() - start) * 1e9;
+  *checksum += sum;
+  return total_ns / static_cast<double>(reps * probes.size() * 2);
+}
+
+// --- whole-session grid ----------------------------------------------------
+
+struct PolicySpec {
+  std::string name;
+  std::function<std::unique_ptr<sim::AbrPolicy>()> make;
+  bool use_weights = false;
+};
+
+struct GridOutput {
+  std::vector<sim::SessionResult> sessions;
+  double wall_s = 0.0;
+  size_t chunks = 0;
+};
+
+GridOutput run_sessions(const std::vector<media::EncodedVideo>& videos,
+                        const std::vector<net::ThroughputTrace>& traces,
+                        const PolicySpec& spec,
+                        const std::vector<std::vector<double>>& weights,
+                        const core::ExperimentRunner& runner) {
+  GridOutput out;
+  out.sessions.resize(videos.size() * traces.size());
+  sim::Player player;
+  double start = now_s();
+  runner.for_each(out.sessions.size(), [&](size_t i) {
+    size_t v = i / traces.size();
+    size_t t = i % traces.size();
+    auto policy = spec.make();
+    const std::vector<double> none;
+    out.sessions[i] = player.stream(videos[v], traces[t], *policy,
+                                    spec.use_weights ? weights[v] : none);
+  });
+  out.wall_s = now_s() - start;
+  for (const auto& s : out.sessions) out.chunks += s.chunks().size();
+  return out;
+}
+
+size_t diff_sessions(const std::vector<sim::SessionResult>& a,
+                     const std::vector<sim::SessionResult>& b) {
+  size_t diffs = 0;
+  if (a.size() != b.size()) return a.size() + b.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].chunks().size() != b[i].chunks().size()) {
+      ++diffs;
+      continue;
+    }
+    for (size_t j = 0; j < a[i].chunks().size(); ++j) {
+      const auto& x = a[i].chunks()[j];
+      const auto& y = b[i].chunks()[j];
+      if (x.level != y.level || x.download_time_s != y.download_time_s ||
+          x.rebuffer_s != y.rebuffer_s ||
+          x.scheduled_rebuffer_s != y.scheduled_rebuffer_s ||
+          x.buffer_after_s != y.buffer_after_s) {
+        ++diffs;
+        break;
+      }
+    }
+  }
+  return diffs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_session.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      ++i;  // parsed by bench::threads_arg
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_session_throughput [--smoke] [--out FILE] [--threads N]\n");
+      return 2;
+    }
+  }
+  const uint64_t seed = 0x5e551011;
+  core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+
+  // ---- advance() microbench ----------------------------------------------
+  const std::vector<size_t> lengths = smoke
+                                          ? std::vector<size_t>{100, 1000, 10000}
+                                          : std::vector<size_t>{100, 1000, 10000, 100000};
+  const size_t num_probes = smoke ? 24 : 96;
+
+  struct AdvanceRow {
+    size_t intervals;
+    double indexed_ns, walker_ns;
+    size_t mismatches;
+  };
+  std::vector<AdvanceRow> advance_rows;
+
+  std::printf("advance() microbench: %zu probes/length (chunk- to session-scale + "
+              "dead-link), looping + finite\n",
+              num_probes);
+  std::printf("%10s %14s %14s %10s %12s\n", "intervals", "indexed ns", "walker ns",
+              "speedup", "mismatches");
+  for (size_t len : lengths) {
+    net::ThroughputTrace looping = fade_trace(len, seed ^ len);
+    net::ThroughputTrace finite = looping.as_finite();
+    auto probes = make_probes(looping, num_probes, seed * 31 + len);
+
+    // Cross-check before timing: the modes must agree bit-for-bit.
+    size_t mismatches = 0;
+    for (const auto& p : probes) {
+      for (const net::ThroughputTrace* t : {&looping, &finite}) {
+        net::TransferResult a = t->advance(p.bytes, p.start_s, net::TraceIntegration::kIndexed);
+        net::TransferResult b = t->advance(p.bytes, p.start_s, net::TraceIntegration::kWalker);
+        if (a.completed != b.completed || a.elapsed_s != b.elapsed_s) ++mismatches;
+      }
+    }
+
+    const size_t indexed_reps = smoke ? 20 : 200;
+    const size_t walker_reps =
+        smoke ? 2 : (len >= 100000 ? 2 : (len >= 10000 ? 5 : 50));
+    double checksum = 0.0;
+    double indexed_ns =
+        time_advances_ns(looping, finite, probes, net::TraceIntegration::kIndexed,
+                         indexed_reps, &checksum);
+    double walker_ns =
+        time_advances_ns(looping, finite, probes, net::TraceIntegration::kWalker,
+                         walker_reps, &checksum);
+    advance_rows.push_back({len, indexed_ns, walker_ns, mismatches});
+    std::printf("%10zu %14.0f %14.0f %9.1fx %12zu\n", len, indexed_ns, walker_ns,
+                walker_ns / indexed_ns, mismatches);
+  }
+
+  // ---- whole-session throughput ------------------------------------------
+  const size_t num_videos = smoke ? 2 : 4;
+  const double video_s = smoke ? 120.0 : 240.0;
+  std::vector<media::EncodedVideo> videos;
+  {
+    media::Encoder encoder;
+    const media::Genre genres[] = {media::Genre::kSports, media::Genre::kNature,
+                                   media::Genre::kGaming, media::Genre::kAnimation};
+    for (size_t i = 0; i < num_videos; ++i) {
+      videos.push_back(encoder.encode(media::SourceVideo::generate(
+          "SessBench" + std::to_string(i), genres[i % 4], video_s)));
+    }
+  }
+  std::vector<net::ThroughputTrace> traces = net::TraceGenerator::test_set(600.0);
+  if (smoke) traces.resize(3);
+
+  // Synthetic sensitivity weights (profiling would dominate the bench).
+  std::vector<std::vector<double>> weights;
+  for (const auto& v : videos) {
+    std::vector<double> w(v.num_chunks(), 0.9);
+    for (size_t i = 2; i < w.size(); i += 6) w[i] = 2.1;
+    weights.push_back(std::move(w));
+  }
+
+  std::vector<PolicySpec> policies;
+  policies.push_back({"bba", [] { return std::make_unique<abr::BbaAbr>(); }, false});
+  if (!smoke) {
+    policies.push_back(
+        {"rate_based", [] { return std::make_unique<abr::RateBasedAbr>(); }, false});
+    policies.push_back({"fugu", [] { return std::make_unique<abr::FuguAbr>(); }, false});
+  }
+  {
+    abr::FuguConfig cfg;
+    cfg.use_weights = true;
+    cfg.rebuffer_options = {0.0, 1.0, 2.0};
+    policies.push_back(
+        {"sensei_fugu", [cfg] { return std::make_unique<abr::FuguAbr>(cfg); }, true});
+  }
+
+  struct SessionRow {
+    std::string policy;
+    size_t sessions, chunks;
+    double indexed_s, walker_s;
+    size_t diffs;
+  };
+  std::vector<SessionRow> session_rows;
+  const size_t session_reps = smoke ? 1 : 3;
+
+  std::printf("\nsession grid: %zu videos x %zu traces, %zu thread(s), best of %zu\n",
+              videos.size(), traces.size(), runner.num_threads(), session_reps);
+  std::printf("%12s %10s %14s %14s %10s %8s\n", "policy", "sessions", "indexed sess/s",
+              "walker sess/s", "speedup", "diffs");
+  for (const auto& spec : policies) {
+    GridOutput indexed, walker;
+    double best_indexed = 1e300, best_walker = 1e300;
+    // Untimed warmup pass: touches every video/trace/policy code path so
+    // the first timed rep is not charged icache/page-fault cold starts.
+    net::set_default_trace_integration(net::TraceIntegration::kIndexed);
+    run_sessions(videos, traces, spec, weights, runner);
+    net::set_default_trace_integration(net::TraceIntegration::kWalker);
+    run_sessions(videos, traces, spec, weights, runner);
+    for (size_t r = 0; r < session_reps; ++r) {
+      net::set_default_trace_integration(net::TraceIntegration::kIndexed);
+      GridOutput gi = run_sessions(videos, traces, spec, weights, runner);
+      net::set_default_trace_integration(net::TraceIntegration::kWalker);
+      GridOutput gw = run_sessions(videos, traces, spec, weights, runner);
+      if (gi.wall_s < best_indexed) {
+        best_indexed = gi.wall_s;
+        indexed = std::move(gi);
+      }
+      if (gw.wall_s < best_walker) {
+        best_walker = gw.wall_s;
+        walker = std::move(gw);
+      }
+    }
+    net::set_default_trace_integration(net::TraceIntegration::kIndexed);
+    size_t diffs = diff_sessions(indexed.sessions, walker.sessions);
+    size_t count = indexed.sessions.size();
+    session_rows.push_back(
+        {spec.name, count, indexed.chunks, best_indexed, best_walker, diffs});
+    std::printf("%12s %10zu %14.1f %14.1f %9.2fx %8zu\n", spec.name.c_str(), count,
+                count / best_indexed, count / best_walker, best_walker / best_indexed,
+                diffs);
+  }
+
+  // ---- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  size_t total_mismatches = 0;
+  double speedup_10k = 0.0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"session_throughput\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"config\": {\"videos\": %zu, \"traces\": %zu, \"threads\": %zu, "
+               "\"advance_probes\": %zu, \"seed\": %llu},\n",
+               videos.size(), traces.size(), runner.num_threads(), num_probes,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"advance\": [\n");
+  for (size_t i = 0; i < advance_rows.size(); ++i) {
+    const AdvanceRow& r = advance_rows[i];
+    double speedup = r.walker_ns / r.indexed_ns;
+    if (r.intervals == 10000) speedup_10k = speedup;
+    total_mismatches += r.mismatches;
+    std::fprintf(f,
+                 "    {\"intervals\": %zu, \"indexed_ns\": %.0f, \"walker_ns\": %.0f, "
+                 "\"speedup\": %.2f, \"mismatches\": %zu}%s\n",
+                 r.intervals, r.indexed_ns, r.walker_ns, speedup, r.mismatches,
+                 i + 1 < advance_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"sessions\": [\n");
+  double min_session_speedup = 1e300;
+  size_t total_diffs = 0;
+  for (size_t i = 0; i < session_rows.size(); ++i) {
+    const SessionRow& r = session_rows[i];
+    double speedup = r.walker_s / r.indexed_s;
+    if (speedup < min_session_speedup) min_session_speedup = speedup;
+    total_diffs += r.diffs;
+    std::fprintf(
+        f,
+        "    {\"policy\": \"%s\", \"sessions\": %zu, \"chunks\": %zu, "
+        "\"indexed\": {\"sessions_per_s\": %.2f, \"ns_per_chunk\": %.0f}, "
+        "\"walker\": {\"sessions_per_s\": %.2f, \"ns_per_chunk\": %.0f}, "
+        "\"speedup\": %.3f, \"output_diffs\": %zu}%s\n",
+        r.policy.c_str(), r.sessions, r.chunks, r.sessions / r.indexed_s,
+        r.indexed_s * 1e9 / static_cast<double>(r.chunks), r.sessions / r.walker_s,
+        r.walker_s * 1e9 / static_cast<double>(r.chunks), speedup, r.diffs,
+        i + 1 < session_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"summary\": {\"advance_speedup_10k_intervals\": %.2f, "
+               "\"min_session_speedup\": %.3f, \"advance_mismatches\": %zu, "
+               "\"session_output_diffs\": %zu}\n",
+               speedup_10k, min_session_speedup, total_mismatches, total_diffs);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (total_mismatches > 0 || total_diffs > 0) {
+    std::fprintf(stderr,
+                 "error: integration modes disagreed (%zu advance mismatches, "
+                 "%zu session diffs)\n",
+                 total_mismatches, total_diffs);
+    return 1;
+  }
+  return 0;
+}

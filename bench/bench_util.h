@@ -12,6 +12,7 @@
 #include "crowd/campaign.h"
 #include "crowd/ground_truth.h"
 #include "media/encoder.h"
+#include "net/trace.h"
 #include "sim/render.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -31,6 +32,29 @@ inline abr::PlannerKind planner_arg(int argc, char** argv) {
     }
   }
   return abr::PlannerKind::kDp;
+}
+
+// Parses `--trace-integration indexed|walker` and applies it as the
+// process-wide default (net::set_default_trace_integration). The two
+// integrators are bit-identical (tests/test_trace_index.cpp), so bench
+// output must not change with this flag — only wall time does.
+inline net::TraceIntegration trace_integration_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-integration") == 0 && i + 1 < argc) {
+      net::TraceIntegration mode;
+      if (std::strcmp(argv[i + 1], "indexed") == 0) {
+        mode = net::TraceIntegration::kIndexed;
+      } else if (std::strcmp(argv[i + 1], "walker") == 0) {
+        mode = net::TraceIntegration::kWalker;
+      } else {
+        std::fprintf(stderr, "error: --trace-integration expects indexed or walker\n");
+        std::exit(2);
+      }
+      net::set_default_trace_integration(mode);
+      return mode;
+    }
+  }
+  return net::TraceIntegration::kIndexed;
 }
 
 // Parses `--threads N` for the grid benches. 0 (the default) lets

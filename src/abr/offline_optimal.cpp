@@ -10,7 +10,10 @@ namespace {
 
 struct DpContext {
   const media::EncodedVideo* video = nullptr;
-  const net::ThroughputTrace* trace = nullptr;
+  // Cursor over the trace's cumulative-capacity index: every DP node's
+  // download-time probe locates its finishing interval by warm-started
+  // binary search instead of an O(n) interval walk.
+  net::TraceCursor link;
   const std::vector<double>* weights = nullptr;
   const OfflineConfig* config = nullptr;
   size_t n = 0;            // chunks
@@ -35,7 +38,7 @@ struct DpContext {
     if (!s->dl_cached[idx]) {
       double t = static_cast<double>(t_bucket) * config->time_quantum_s;
       s->dl_cache[idx] = static_cast<float>(
-          trace->download_time_s(video->size_bytes(chunk, level), t));
+          link.download_time_s(video->size_bytes(chunk, level), t));
       s->dl_cached[idx] = 1;
     }
     return s->dl_cache[idx];
@@ -143,7 +146,7 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
   DpContext ctx;
   ctx.s = &scratch;
   ctx.video = &video;
-  ctx.trace = &trace;
+  ctx.link = net::TraceCursor(trace);
   ctx.weights = &weights;
   ctx.config = &config;
   ctx.n = video.num_chunks();
@@ -190,7 +193,7 @@ sim::SessionResult plan_offline(const media::EncodedVideo& video,
     rec.visual_quality = rep.visual_quality;
     rec.download_start_s = t;
 
-    double dl = trace.download_time_s(rep.size_bytes, t);
+    double dl = ctx.link.download_time_s(rep.size_bytes, t);
     if (!std::isfinite(dl)) {
       // The link died mid-plan: truncate like the player does and surface
       // the outage instead of accumulating infinite wall clocks.

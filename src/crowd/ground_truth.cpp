@@ -9,10 +9,9 @@ namespace sensei::crowd {
 
 GroundTruthQoE::GroundTruthQoE(GroundTruthParams params) : params_(params) {}
 
-double GroundTruthQoE::weighted_mean(const sim::RenderedVideo& video) const {
+double GroundTruthQoE::weighted_mean_of(const sim::RenderedVideo& video,
+                                        const std::vector<double>& q) const {
   const size_t n = video.num_chunks();
-  if (n == 0) return 0.0;
-  std::vector<double> q = qoe::chunk_qualities(video, params_.chunk);
   double num = 0.0, den = 0.0;
   for (size_t i = 0; i < n; ++i) {
     double s = video.content(i).sensitivity;
@@ -22,10 +21,9 @@ double GroundTruthQoE::weighted_mean(const sim::RenderedVideo& video) const {
   return den > 0.0 ? num / den : 0.0;
 }
 
-double GroundTruthQoE::worst_memory(const sim::RenderedVideo& video) const {
+double GroundTruthQoE::worst_memory_of(const sim::RenderedVideo& video,
+                                       const std::vector<double>& q) const {
   const size_t n = video.num_chunks();
-  if (n == 0) return 0.0;
-  std::vector<double> q = qoe::chunk_qualities(video, params_.chunk);
   double worst = 1.0;
   for (size_t i = 0; i < n; ++i) {
     double s = video.content(i).sensitivity;
@@ -34,9 +32,27 @@ double GroundTruthQoE::worst_memory(const sim::RenderedVideo& video) const {
   return worst;
 }
 
+double GroundTruthQoE::weighted_mean(const sim::RenderedVideo& video) const {
+  if (video.num_chunks() == 0) return 0.0;
+  return weighted_mean_of(
+      video, qoe::thread_local_chunk_quality_cache().qualities(video, params_.chunk));
+}
+
+double GroundTruthQoE::worst_memory(const sim::RenderedVideo& video) const {
+  if (video.num_chunks() == 0) return 0.0;
+  return worst_memory_of(
+      video, qoe::thread_local_chunk_quality_cache().qualities(video, params_.chunk));
+}
+
 double GroundTruthQoE::score(const sim::RenderedVideo& video) const {
-  double m = weighted_mean(video);
-  double w = worst_memory(video);
+  double m = 0.0, w = 0.0;
+  if (video.num_chunks() > 0) {
+    // One chunk-quality evaluation feeds both components.
+    const std::vector<double>& q =
+        qoe::thread_local_chunk_quality_cache().qualities(video, params_.chunk);
+    m = weighted_mean_of(video, q);
+    w = worst_memory_of(video, q);
+  }
   double startup = params_.startup_weight * qoe::stall_penalty(video.startup_delay_s(),
                                                                params_.chunk);
   double q = params_.mean_weight * m + (1.0 - params_.mean_weight) * w - startup;

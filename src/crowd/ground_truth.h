@@ -49,6 +49,15 @@ class GroundTruthQoE {
   const GroundTruthParams& params() const { return params_; }
 
  private:
+  // Component math over an already-computed per-chunk quality vector:
+  // score() evaluates the qualities once (into a per-thread reusable
+  // buffer) and feeds both components, instead of each component
+  // allocating and recomputing its own vector.
+  double weighted_mean_of(const sim::RenderedVideo& video,
+                          const std::vector<double>& q) const;
+  double worst_memory_of(const sim::RenderedVideo& video,
+                         const std::vector<double>& q) const;
+
   GroundTruthParams params_;
 };
 

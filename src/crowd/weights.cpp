@@ -15,7 +15,8 @@ std::vector<double> infer_weights(const std::vector<sim::RenderedVideo>& videos,
   if (videos.size() != mos.size()) throw std::runtime_error("weights: dataset mismatch");
   if (videos.empty() || num_chunks == 0) return std::vector<double>(num_chunks, 1.0);
 
-  std::vector<double> q_ref = qoe::chunk_qualities(reference, config.chunk);
+  std::vector<double> q_ref;
+  qoe::chunk_qualities_into(reference, config.chunk, q_ref);
   if (q_ref.size() < num_chunks)
     throw std::runtime_error("weights: reference shorter than weight vector");
 
@@ -23,8 +24,12 @@ std::vector<double> infer_weights(const std::vector<sim::RenderedVideo>& videos,
   std::vector<double> targets;
   rows.reserve(videos.size());
   targets.reserve(videos.size());
+  // One quality buffer refilled per rated rendering: profiling campaigns
+  // rate hundreds of clips per video, and the per-clip vector churn was the
+  // dominant allocation of weight inference.
+  std::vector<double> q;
   for (size_t j = 0; j < videos.size(); ++j) {
-    std::vector<double> q = qoe::chunk_qualities(videos[j], config.chunk);
+    qoe::chunk_qualities_into(videos[j], config.chunk, q);
     std::vector<double> row(num_chunks, 0.0);
     size_t covered = std::min(num_chunks, q.size());
     bool any = false;

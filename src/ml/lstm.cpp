@@ -28,13 +28,18 @@ LstmRegressor::LstmRegressor(size_t input_dim, size_t hidden_dim, util::Rng& rng
   bg_.assign(hidden_dim, 0.0);
   head_w_.resize(hidden_dim);
   for (auto& v : head_w_) v = rng.normal(0.0, scale);
+  zero_state_.assign(hidden_dim, 0.0);
 }
 
 std::vector<LstmRegressor::Gates> LstmRegressor::forward_cached(
     const std::vector<std::vector<double>>& seq) const {
   std::vector<Gates> cache;
   cache.reserve(seq.size());
-  std::vector<double> h(hidden_dim_, 0.0), c(hidden_dim_, 0.0);
+  // Pointers into the previous step's cached state (the shared zero vector
+  // for step 0): the old `h = g.h; c = g.c` copied both states every step.
+  // cache is reserved above, so push_back never invalidates them.
+  const std::vector<double>* h = &zero_state_;
+  const std::vector<double>* c = &zero_state_;
   size_t cols = input_dim_ + hidden_dim_;
   for (const auto& x : seq) {
     if (x.size() != input_dim_) throw std::runtime_error("lstm: bad feature dim");
@@ -58,21 +63,21 @@ std::vector<LstmRegressor::Gates> LstmRegressor::forward_cached(
         zg += rg[k] * x[k];
       }
       for (size_t k = 0; k < hidden_dim_; ++k) {
-        zi += ri[input_dim_ + k] * h[k];
-        zf += rf[input_dim_ + k] * h[k];
-        zo += ro[input_dim_ + k] * h[k];
-        zg += rg[input_dim_ + k] * h[k];
+        zi += ri[input_dim_ + k] * (*h)[k];
+        zf += rf[input_dim_ + k] * (*h)[k];
+        zo += ro[input_dim_ + k] * (*h)[k];
+        zg += rg[input_dim_ + k] * (*h)[k];
       }
       g.i[u] = sigmoid(zi);
       g.f[u] = sigmoid(zf);
       g.o[u] = sigmoid(zo);
       g.g[u] = std::tanh(zg);
-      g.c[u] = g.f[u] * c[u] + g.i[u] * g.g[u];
+      g.c[u] = g.f[u] * (*c)[u] + g.i[u] * g.g[u];
       g.h[u] = g.o[u] * std::tanh(g.c[u]);
     }
-    h = g.h;
-    c = g.c;
     cache.push_back(std::move(g));
+    h = &cache.back().h;
+    c = &cache.back().c;
   }
   return cache;
 }
@@ -116,6 +121,9 @@ double LstmRegressor::train_step(const std::vector<std::vector<double>>& seq, do
     dh_seed[u] = err * head_w_[u] / static_cast<double>(T);
   }
   std::vector<double> dh = dh_seed, dc(hidden_dim_, 0.0);
+  // Backward-state buffers reused across the whole BPTT sweep (assign()
+  // keeps capacity), swapped with dh/dc at each step.
+  std::vector<double> dh_prev(hidden_dim_, 0.0), dc_prev(hidden_dim_, 0.0);
 
   std::vector<double> gwi(wi_.size(), 0.0), gwf(wf_.size(), 0.0), gwo(wo_.size(), 0.0),
       gwg(wg_.size(), 0.0);
@@ -124,13 +132,15 @@ double LstmRegressor::train_step(const std::vector<std::vector<double>>& seq, do
 
   for (size_t t = T; t-- > 0;) {
     const Gates& g = cache[t];
-    const std::vector<double>& h_prev =
-        t > 0 ? cache[t - 1].h : std::vector<double>(hidden_dim_, 0.0);
-    const std::vector<double>& c_prev =
-        t > 0 ? cache[t - 1].c : std::vector<double>(hidden_dim_, 0.0);
+    // Both ternary arms are lvalues of the same type, so these bind without
+    // copying (the old mixed lvalue/temporary form materialized a full copy
+    // of h and c every step).
+    const std::vector<double>& h_prev = t > 0 ? cache[t - 1].h : zero_state_;
+    const std::vector<double>& c_prev = t > 0 ? cache[t - 1].c : zero_state_;
     const auto& x = seq[t];
 
-    std::vector<double> dh_prev(hidden_dim_, 0.0), dc_prev(hidden_dim_, 0.0);
+    dh_prev.assign(hidden_dim_, 0.0);
+    dc_prev.assign(hidden_dim_, 0.0);
     for (size_t u = 0; u < hidden_dim_; ++u) {
       double tanh_c = std::tanh(g.c[u]);
       double do_u = dh[u] * tanh_c;
@@ -173,8 +183,8 @@ double LstmRegressor::train_step(const std::vector<std::vector<double>>& seq, do
     }
     // The previous step's hidden state also feeds the pooled head directly.
     for (size_t u = 0; u < hidden_dim_; ++u) dh_prev[u] += dh_seed[u];
-    dh = std::move(dh_prev);
-    dc = std::move(dc_prev);
+    std::swap(dh, dh_prev);
+    std::swap(dc, dc_prev);
   }
 
   // Gradient clipping keeps tiny-dataset BPTT stable.

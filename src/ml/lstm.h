@@ -51,6 +51,11 @@ class LstmRegressor {
   // Regression head.
   std::vector<double> head_w_;
   double head_b_ = 0.0;
+  // Shared all-zero initial state: the forward and backward passes bind the
+  // step-0 h/c references here instead of materializing a temporary zero
+  // vector (the old mixed lvalue/temporary ternary copied a full state
+  // every BPTT step).
+  std::vector<double> zero_state_;
 };
 
 }  // namespace sensei::ml

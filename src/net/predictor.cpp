@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "util/stats.h"
 
@@ -30,18 +29,17 @@ void ThroughputPredictor::scenarios_into(std::vector<ThroughputScenario>& out) c
 }
 
 HarmonicMeanPredictor::HarmonicMeanPredictor(size_t window, double initial_kbps)
-    : window_(window), initial_kbps_(initial_kbps) {}
+    : initial_kbps_(initial_kbps), history_(window) {}
 
 void HarmonicMeanPredictor::observe(double kbps) {
   if (kbps <= 0.0) kbps = 1.0;
-  history_.push_back(kbps);
-  while (history_.size() > window_) history_.pop_front();
+  history_.push(kbps);
 }
 
 double HarmonicMeanPredictor::predict_kbps() const {
   if (history_.empty()) return initial_kbps_;
   double inv_sum = 0.0;
-  for (double v : history_) inv_sum += 1.0 / v;
+  for (size_t i = 0; i < history_.size(); ++i) inv_sum += 1.0 / history_[i];
   return static_cast<double>(history_.size()) / inv_sum;
 }
 
@@ -68,12 +66,11 @@ void EwmaPredictor::reset() {
 }
 
 ScenarioPredictor::ScenarioPredictor(size_t window, double initial_kbps)
-    : point_(window, initial_kbps), window_(window) {}
+    : point_(window, initial_kbps), history_(window) {}
 
 void ScenarioPredictor::observe(double kbps) {
   point_.observe(kbps);
-  history_.push_back(std::max(1.0, kbps));
-  while (history_.size() > window_) history_.pop_front();
+  history_.push(std::max(1.0, kbps));
 }
 
 double ScenarioPredictor::predict_kbps() const { return point_.predict_kbps(); }
@@ -81,16 +78,20 @@ double ScenarioPredictor::predict_kbps() const { return point_.predict_kbps(); }
 void ScenarioPredictor::scenarios_into(std::vector<ThroughputScenario>& out) const {
   double center = point_.predict_kbps();
   // Coefficient of variation of recent samples decides the scenario spread.
-  // Computed directly over the history deque (same accumulation order as
-  // util::mean/stddev over a copy, so the result is bit-identical) to keep
-  // the per-decision path allocation-free.
+  // Computed directly over the history window (same oldest-first
+  // accumulation order as util::mean/stddev over a copy, so the result is
+  // bit-identical) to keep the per-decision path allocation-free.
   double cv = 0.25;
   if (history_.size() >= 3) {
-    double m = std::accumulate(history_.begin(), history_.end(), 0.0) /
-               static_cast<double>(history_.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < history_.size(); ++i) sum += history_[i];
+    double m = sum / static_cast<double>(history_.size());
     if (m > 0.0) {
       double acc = 0.0;
-      for (double x : history_) acc += (x - m) * (x - m);
+      for (size_t i = 0; i < history_.size(); ++i) {
+        double x = history_[i];
+        acc += (x - m) * (x - m);
+      }
       double sd = std::sqrt(acc / static_cast<double>(history_.size()));
       cv = util::clamp(sd / m, 0.05, 0.8);
     }

@@ -8,10 +8,51 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 namespace sensei::net {
+
+// Fixed-capacity window over the most recent observations, oldest first.
+// Replaces the std::deque the predictors used to hold their history: a
+// deque's head marches through heap blocks as the window slides, so every
+// session kept allocating on the per-chunk observe() path; the ring is a
+// single vector sized once. Iteration order (index 0 = oldest) matches the
+// deque it replaced, so all accumulations are bit-identical.
+class SampleWindow {
+ public:
+  explicit SampleWindow(size_t capacity)
+      : data_(capacity > 0 ? capacity : 1), capacity_(capacity) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // i = 0 is the oldest retained sample.
+  double operator[](size_t i) const { return data_[(head_ + i) % data_.size()]; }
+
+  // Appends a sample, evicting the oldest when full. A zero-capacity
+  // window retains nothing (the deque-with-immediate-evict behavior).
+  void push(double v) {
+    if (capacity_ == 0) return;
+    if (size_ < capacity_) {
+      data_[(head_ + size_) % data_.size()] = v;
+      ++size_;
+    } else {
+      data_[head_] = v;
+      head_ = (head_ + 1) % data_.size();
+    }
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<double> data_;
+  size_t capacity_ = 0;
+  size_t head_ = 0;  // index of the oldest sample
+  size_t size_ = 0;
+};
 
 // One throughput scenario: value (Kbps) with probability.
 struct ThroughputScenario {
@@ -64,9 +105,8 @@ class HarmonicMeanPredictor : public ThroughputPredictor {
   void reset() override;
 
  private:
-  size_t window_;
   double initial_kbps_;
-  std::deque<double> history_;
+  SampleWindow history_;
 };
 
 class EwmaPredictor : public ThroughputPredictor {
@@ -96,8 +136,7 @@ class ScenarioPredictor : public ThroughputPredictor {
 
  private:
   HarmonicMeanPredictor point_;
-  std::deque<double> history_;
-  size_t window_;
+  SampleWindow history_;
 };
 
 }  // namespace sensei::net

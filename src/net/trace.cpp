@@ -1,5 +1,6 @@
 #include "net/trace.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -9,6 +10,81 @@
 #include "util/stats.h"
 
 namespace sensei::net {
+
+namespace {
+
+std::atomic<int> g_default_integration{static_cast<int>(TraceIntegration::kIndexed)};
+
+TransferResult dead_link() {
+  TransferResult result;
+  result.completed = false;
+  result.elapsed_s = std::numeric_limits<double>::infinity();
+  return result;
+}
+
+// Smallest k in (p, n] with prefix[k] - prefix[p] >= target, given that
+// k = n satisfies it. The predicate is monotone in k (prefix is
+// nondecreasing and rounding is order-preserving), so the linear reference
+// scan and the bracketed binary search provably return the same k — this
+// single shared expression is what makes the two integration modes
+// bit-identical. `hint` (a phase from a cursor's previous finish) only
+// seeds the gallop that brackets the answer.
+// Chunk-scale transfers finish within a few intervals of their start, where
+// a cache-hot linear scan beats binary search; session-scale transfers and
+// long fades span thousands, where binary search wins by orders of
+// magnitude. The indexed mode scans this many intervals exactly before
+// switching — the hybrid returns the same minimal k either way, so the
+// constant is pure tuning, never semantics.
+constexpr size_t kLinearScanSpan = 64;
+
+size_t find_finish(const std::vector<double>& prefix, size_t p, size_t n, double target,
+                   TraceIntegration mode, size_t* hint) {
+  auto consumed_reaches = [&](size_t k) { return prefix[k] - prefix[p] >= target; };
+
+  if (mode == TraceIntegration::kWalker) {
+    size_t k = p + 1;
+    while (!consumed_reaches(k)) ++k;
+    return k;
+  }
+
+  // Short exact linear scan first (the common chunk-download case).
+  size_t linear_end = n - p > kLinearScanSpan ? p + kLinearScanSpan : n;
+  for (size_t k = p + 1; k <= linear_end; ++k) {
+    if (consumed_reaches(k)) return k;
+  }
+
+  // Bracket (lo, hi]: predicate false at lo, true at hi (pred(n) holds by
+  // the caller's window check). A cursor's hint from the previous finish
+  // splits the bracket once before the binary search.
+  size_t lo = linear_end;
+  size_t hi = n;
+  if (hint != nullptr && *hint > lo && *hint < hi) {
+    if (consumed_reaches(*hint)) {
+      hi = *hint;
+    } else {
+      lo = *hint;
+    }
+  }
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (consumed_reaches(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+TraceIntegration default_trace_integration() {
+  return static_cast<TraceIntegration>(g_default_integration.load(std::memory_order_relaxed));
+}
+
+void set_default_trace_integration(TraceIntegration mode) {
+  g_default_integration.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
 
 ThroughputTrace::ThroughputTrace(std::string name, std::vector<double> samples_kbps,
                                  double interval_s, bool finite)
@@ -24,10 +100,25 @@ ThroughputTrace::ThroughputTrace(std::string name, std::vector<double> samples_k
     if (!std::isfinite(s) || !(s >= 0.0))
       throw std::runtime_error("trace: throughput must be finite and >= 0");
   }
+  // Cumulative-capacity index: one left-to-right pass, the accumulation
+  // order every integration below reuses.
+  auto index = std::make_shared<TraceIndex>();
+  index->prefix_bits.resize(samples_.size() + 1);
+  index->prefix_bits[0] = 0.0;
+  for (size_t k = 0; k < samples_.size(); ++k) {
+    double capacity_bits = samples_[k] * 1000.0 * interval_s_;
+    index->prefix_bits[k + 1] = index->prefix_bits[k] + capacity_bits;
+  }
+  index_ = std::move(index);
 }
 
 ThroughputTrace ThroughputTrace::as_finite() const {
   return ThroughputTrace(name_, samples_, interval_s_, true);
+}
+
+const TraceIndex& ThroughputTrace::index() const {
+  if (!index_) throw std::runtime_error("trace: default-constructed trace has no index");
+  return *index_;
 }
 
 double ThroughputTrace::throughput_at(double t_s) const {
@@ -44,74 +135,123 @@ double ThroughputTrace::mean_kbps() const { return util::mean(samples_); }
 
 double ThroughputTrace::stddev_kbps() const { return util::stddev(samples_); }
 
-TransferResult ThroughputTrace::advance(double bytes, double start_s) const {
+TransferResult ThroughputTrace::integrate(double bytes, double start_s, TraceIntegration mode,
+                                          size_t* hint) const {
   TransferResult result;
   if (bytes <= 0.0) return result;
   // A transfer "started" at non-finite time (downstream of an earlier
-  // outage) can never complete; walking from it would be UB in the index
-  // arithmetic below.
-  if (!std::isfinite(start_s)) {
-    result.completed = false;
-    result.elapsed_s = std::numeric_limits<double>::infinity();
-    return result;
-  }
+  // outage) can never complete; index arithmetic from it would be UB.
+  if (!std::isfinite(start_s)) return dead_link();
   if (start_s < 0.0) start_s = 0.0;
   // A start so far out that interval indices exceed the exactly-representable
-  // integer range cannot be walked reliably; such a clock only arises
+  // integer range cannot be located reliably; such a clock only arises
   // downstream of an earlier unbounded stall, so the link reads as dead.
-  if (start_s / interval_s_ >= 9.0e15) {
-    result.completed = false;
-    result.elapsed_s = std::numeric_limits<double>::infinity();
-    return result;
-  }
+  if (start_s / interval_s_ >= 9.0e15) return dead_link();
+  if (!index_) return dead_link();  // default-constructed empty trace
+
+  const size_t n = samples_.size();
+  const std::vector<double>& prefix = index_->prefix_bits;
   double remaining_bits = bytes * 8.0;
-  double t = start_s;
-  // Integrate the step function interval by interval, walking an *integer*
-  // interval index (recomputing floor(t / interval) each step can reach a
-  // floating-point fixpoint for non-dyadic intervals — span 0, no progress,
-  // infinite loop). The walk terminates exactly: either some interval
-  // finishes the transfer, or the link is provably dead — a finite trace
-  // ran out, or a looping trace produced a full period of zero-capacity
-  // intervals (consecutive intervals cover every sample once per period,
-  // so a zero period means an all-zero trace).
-  auto idx = static_cast<size_t>(t / interval_s_);
-  size_t zero_intervals = 0;
+
+  // --- the (possibly partial) interval the transfer starts in -------------
+  auto idx = static_cast<size_t>(start_s / interval_s_);
+  double span;
   while (true) {
-    if (finite_ && idx >= samples_.size()) {
-      result.completed = false;
-      result.elapsed_s = std::numeric_limits<double>::infinity();
+    if (finite_ && idx >= n) return dead_link();
+    double interval_end = static_cast<double>(idx + 1) * interval_s_;
+    span = interval_end - start_s;
+    if (span > 0.0) break;
+    // The start rounded onto (or past) this interval's end: a zero-width
+    // sliver with no capacity to consume.
+    ++idx;
+  }
+  double kbps = samples_[idx % n];
+  if (kbps > 0.0) {
+    double bps = kbps * 1000.0;
+    double capacity_bits = bps * span;
+    if (capacity_bits >= remaining_bits) {
+      result.elapsed_s = remaining_bits / bps;
       return result;
     }
-    double interval_end = static_cast<double>(idx + 1) * interval_s_;
-    double span = interval_end - t;
-    if (span > 0.0) {
-      double kbps = samples_[idx % samples_.size()];
-      double capacity_bits = kbps * 1000.0 * span;
-      if (kbps > 0.0 && capacity_bits >= remaining_bits) {
-        result.elapsed_s = (t - start_s) + remaining_bits / (kbps * 1000.0);
-        return result;
+    remaining_bits -= capacity_bits;
+  }
+
+  // --- full intervals, one period window at a time -------------------------
+  // The finishing interval is the smallest k with "capacity consumed since
+  // the window's phase >= bits remaining" — evaluated from the shared prefix
+  // sums, so the walker's linear scan and the indexed binary search agree
+  // exactly. Looping traces consume whole periods in O(1) between windows.
+  const size_t b = idx + 1;  // absolute index of the first full interval
+  const double period_bits = prefix[n];
+  size_t base;   // absolute index of the current window's phase 0
+  size_t phase;  // prefix index the window starts at
+  if (finite_) {
+    base = 0;
+    phase = b;
+  } else {
+    phase = b % n;
+    base = b - phase;
+    if (period_bits > 0.0) {
+      // A transfer that would finish beyond the exactly-representable
+      // interval range cannot be timed reliably (the start_s guard's twin);
+      // classify it as dead instead of marching periods toward it. The
+      // bound overestimates capacity, so any transfer it rejects would
+      // finish past index ~9e15.
+      if (remaining_bits > period_bits * (9.0e15 / static_cast<double>(n))) {
+        return dead_link();
       }
-      if (kbps > 0.0) {
-        zero_intervals = 0;
-      } else if (++zero_intervals >= samples_.size() && !finite_) {
-        result.completed = false;
-        result.elapsed_s = std::numeric_limits<double>::infinity();
-        return result;
-      }
-      remaining_bits -= capacity_bits;
-      t = interval_end;
     }
-    // span <= 0 happens only when the start landed at (or rounded past) an
-    // interval boundary: consume nothing and move to the next interval.
-    ++idx;
+  }
+  while (true) {
+    if (finite_ && phase >= n) return dead_link();
+    double window_bits = prefix[n] - prefix[phase];
+    if (window_bits >= remaining_bits) {
+      size_t k = find_finish(prefix, phase, n, remaining_bits, mode, hint);
+      if (hint != nullptr) *hint = k;
+      size_t finish = base + k - 1;  // absolute finishing interval
+      double r = remaining_bits - (prefix[k - 1] - prefix[phase]);
+      double bps = samples_[k - 1] * 1000.0;
+      double interval_start = static_cast<double>(finish) * interval_s_;
+      result.elapsed_s = (interval_start - start_s) + r / bps;
+      return result;
+    }
+    if (finite_) return dead_link();
+    // A zero-capacity period can never deliver the rest: the link is dead
+    // (an all-zero looping trace — prefix[n] > 0 whenever any sample is).
+    if (period_bits <= 0.0) return dead_link();
+    double next_remaining = remaining_bits - window_bits;
+    // No numeric progress (the period's capacity is below the remaining
+    // bits' rounding grain): the transfer can never be timed; treat the
+    // link as dead rather than looping forever.
+    if (!(next_remaining < remaining_bits)) return dead_link();
+    remaining_bits = next_remaining;
+    base += n;
+    phase = 0;
   }
 }
 
-double ThroughputTrace::download_time_s(double bytes, double start_s, double rtt_s) const {
+TransferResult ThroughputTrace::advance(double bytes, double start_s,
+                                        TraceIntegration mode) const {
+  return integrate(bytes, start_s, mode, nullptr);
+}
+
+double ThroughputTrace::download_time_s(double bytes, double start_s, double rtt_s,
+                                        TraceIntegration mode) const {
   // RTT is request dead time: it burns wall clock *before* the first byte
   // and consumes no trace capacity, so the transfer integrates from
   // start_s + rtt_s (not from start_s, which would let the request "use"
   // link capacity it never touched).
+  if (bytes <= 0.0) return rtt_s;
+  TransferResult transfer = advance(bytes, start_s + rtt_s, mode);
+  if (!transfer.completed) return std::numeric_limits<double>::infinity();
+  return rtt_s + transfer.elapsed_s;
+}
+
+TransferResult TraceCursor::advance(double bytes, double start_s) {
+  return trace_->integrate(bytes, start_s, mode_, &hint_);
+}
+
+double TraceCursor::download_time_s(double bytes, double start_s, double rtt_s) {
   if (bytes <= 0.0) return rtt_s;
   TransferResult transfer = advance(bytes, start_s + rtt_s);
   if (!transfer.completed) return std::numeric_limits<double>::infinity();

@@ -7,13 +7,28 @@
 // (0 Kbps) past `duration_s()` — finite traces model outages, captured
 // real-world files, and live sessions that end.
 //
-// Transfers are integrated exactly by `advance()`: it walks the step
-// function interval by interval and either completes, or reports an
-// *outage* — the link has no capacity left, ever (an all-zero looping
-// trace, or a finite trace exhausted mid-transfer). There is no walk cap
-// that could silently fake a completed download.
+// Transfers are integrated exactly by `advance()` against a cumulative-
+// capacity index built at construction (prefix sums of each interval's bits
+// over one period). Both integration modes evaluate the *same* monotone
+// predicate "capacity consumed through interval k >= bits remaining", so
+// they are bit-identical by construction:
+//
+//  - kIndexed (default): binary search for the finishing interval inside
+//    the current period, whole periods consumed in O(1) each, dead links
+//    classified in O(1). A transfer costs O(log n + periods spanned)
+//    regardless of how many intervals it crosses.
+//  - kWalker: the retained reference — a linear interval-by-interval scan
+//    of the identical predicate, O(intervals spanned), kept behind the mode
+//    flag (mirroring FuguConfig::planner / PlayerConfig::engine) purely as
+//    the equivalence baseline for tests/test_trace_index.cpp.
+//
+// Either way a transfer completes exactly or reports an *outage* — the link
+// has no capacity left, ever (an all-zero looping trace, or a finite trace
+// exhausted mid-transfer). There is no walk cap that could silently fake a
+// completed download.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +43,34 @@ struct TransferResult {
   // capacity (all-zero looping trace or exhausted finite trace).
   bool completed = true;
 };
+
+// Which integration engine advance()/download_time_s() use. The two are
+// bit-identical (same elapsed_s, same dead-link classification); only the
+// complexity differs.
+enum class TraceIntegration {
+  kIndexed,  // binary search over the cumulative-capacity index (default)
+  kWalker,   // linear reference scan of the same predicate
+};
+
+// Process-wide default mode. Set once at startup (e.g. from a bench's
+// `--trace-integration indexed|walker` flag); every call that does not pass
+// an explicit mode reads it.
+TraceIntegration default_trace_integration();
+void set_default_trace_integration(TraceIntegration mode);
+
+// Cumulative-capacity index over one period of the step function, built at
+// construction (traces are immutable and shared across ExperimentRunner
+// workers, so laziness would need synchronization for no gain; construction
+// already walks the samples once to validate them).
+struct TraceIndex {
+  // prefix_bits[k] = bits deliverable by intervals [0, k), accumulated
+  // left-to-right in double precision — the scan order both integration
+  // modes share. Monotone nondecreasing; prefix_bits[n] is the capacity of
+  // one full period.
+  std::vector<double> prefix_bits;
+};
+
+class TraceCursor;
 
 class ThroughputTrace {
  public:
@@ -55,15 +98,22 @@ class ThroughputTrace {
   double stddev_kbps() const;
 
   // Exact event integrator: simulates transferring `bytes` starting at
-  // `start_s`, walking the step function until the last byte or an outage.
+  // `start_s`, locating the last byte (or an outage) on the step function.
   // RTT is *not* included — request dead time consumes wall clock but no
   // trace capacity, so callers place it before the transfer start.
-  TransferResult advance(double bytes, double start_s) const;
+  TransferResult advance(double bytes, double start_s,
+                         TraceIntegration mode = default_trace_integration()) const;
 
   // Convenience wrapper: rtt_s of request dead time, then the transfer
   // (starting at start_s + rtt_s). Returns total elapsed seconds, or
   // +infinity if the transfer hits an outage.
-  double download_time_s(double bytes, double start_s, double rtt_s = 0.08) const;
+  double download_time_s(double bytes, double start_s, double rtt_s = 0.08,
+                         TraceIntegration mode = default_trace_integration()) const;
+
+  // The cumulative-capacity index (shared between plain copies since it
+  // depends only on the samples). Throws on a default-constructed trace,
+  // which has no samples and therefore no index.
+  const TraceIndex& index() const;
 
   // Returns a copy scaled by `factor` (used for the bandwidth-ratio sweeps).
   ThroughputTrace scaled(double factor, const std::string& new_name = "") const;
@@ -82,10 +132,45 @@ class ThroughputTrace {
   static ThroughputTrace from_csv(const std::string& name, const std::string& csv);
 
  private:
+  friend class TraceCursor;
+
+  // The shared integration core. `hint` (nullable) is a cursor's warm-start
+  // phase for the finishing-interval search; it only affects speed, never
+  // the result.
+  TransferResult integrate(double bytes, double start_s, TraceIntegration mode,
+                           size_t* hint) const;
+
   std::string name_;
   std::vector<double> samples_;  // Kbps
   double interval_s_ = 1.0;
   bool finite_ = false;
+  // Immutable once built; shared across plain copies of the trace.
+  std::shared_ptr<const TraceIndex> index_;
+};
+
+// Stateful integration handle for a session's (mostly) monotonically
+// advancing wall clock: remembers the phase where the previous transfer
+// finished and gallops from it, so consecutive chunk downloads locate their
+// finishing interval in O(1) amortized instead of O(log n) each. Results
+// are bit-identical to ThroughputTrace::advance — the hint changes only
+// where the search starts, and the predicate it brackets is monotone.
+// Cheap to construct (two words); keep one per session.
+class TraceCursor {
+ public:
+  TraceCursor() = default;
+  explicit TraceCursor(const ThroughputTrace& trace,
+                       TraceIntegration mode = default_trace_integration())
+      : trace_(&trace), mode_(mode) {}
+
+  TransferResult advance(double bytes, double start_s);
+  double download_time_s(double bytes, double start_s, double rtt_s = 0.08);
+
+  const ThroughputTrace* trace() const { return trace_; }
+
+ private:
+  const ThroughputTrace* trace_ = nullptr;
+  TraceIntegration mode_ = TraceIntegration::kIndexed;
+  size_t hint_ = 1;  // phase (prefix index) of the last finishing interval
 };
 
 }  // namespace sensei::net

@@ -41,8 +41,38 @@ inline double chunk_quality(double visual_quality, double stall_s, double prev_v
   return std::max(p.floor, q);
 }
 
-// Vector of q_i over a rendered video.
+// Per-chunk qualities written into a caller-provided buffer (cleared
+// first). Scoring paths call this once per prediction; reusing one buffer
+// keeps them free of heap allocation (the scenarios_into precedent).
+void chunk_qualities_into(const sim::RenderedVideo& video, const ChunkQualityParams& p,
+                          std::vector<double>& out);
+
+// Vector of q_i over a rendered video (allocating convenience wrapper).
 std::vector<double> chunk_qualities(const sim::RenderedVideo& video,
                                     const ChunkQualityParams& p = ChunkQualityParams());
+
+// Reusable per-chunk-quality workspace. QoE models and the weight-inference
+// pipeline evaluate chunk-quality vectors once per rendering scored; holding
+// one cache per thread (or per batch loop) pins those evaluations to a
+// single grow-only buffer instead of a fresh vector per call.
+class ChunkQualityCache {
+ public:
+  // Computes q_i for `video` into the internal buffer and returns it. The
+  // reference is invalidated by the next qualities() call on this cache.
+  const std::vector<double>& qualities(const sim::RenderedVideo& video,
+                                       const ChunkQualityParams& p) {
+    chunk_qualities_into(video, p, q_);
+    return q_;
+  }
+
+ private:
+  std::vector<double> q_;
+};
+
+// The per-thread cache the scoring paths share. QoE models and the
+// ground-truth oracle are process-wide objects scored concurrently by
+// ExperimentRunner workers, so their reusable scratch lives per thread —
+// and in one place, so every model on a thread grows the same buffer.
+ChunkQualityCache& thread_local_chunk_quality_cache();
 
 }  // namespace sensei::qoe

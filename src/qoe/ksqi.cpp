@@ -9,7 +9,8 @@ KsqiModel::KsqiModel(ChunkQualityParams params) : params_(params) {}
 
 double KsqiModel::raw_score(const sim::RenderedVideo& video) const {
   if (video.num_chunks() == 0) return 0.0;
-  std::vector<double> q = chunk_qualities(video, params_);
+  const std::vector<double>& q =
+      thread_local_chunk_quality_cache().qualities(video, params_);
   double base = util::mean(q);
   return base - startup_weight_ * stall_penalty(video.startup_delay_s(), params_);
 }

@@ -15,7 +15,8 @@ SenseiQoeModel::SenseiQoeModel(std::vector<double> weights, ChunkQualityParams p
 double SenseiQoeModel::raw_score(const sim::RenderedVideo& video) const {
   const size_t n = video.num_chunks();
   if (n == 0) return 0.0;
-  std::vector<double> q = chunk_qualities(video, params_);
+  const std::vector<double>& q =
+      thread_local_chunk_quality_cache().qualities(video, params_);
   double num = 0.0, den = 0.0;
   for (size_t i = 0; i < n; ++i) {
     // A rendering may be a clip shorter than the profiled video; weights past

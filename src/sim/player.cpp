@@ -49,20 +49,27 @@ SessionResult Player::stream_legacy(const media::EncodedVideo& video,
   double last_throughput = 0.0;
   double last_download_time = 0.0;
   std::vector<double> history;
+  history.reserve(config_.throughput_history_len + 1);
 
   std::vector<ChunkRecord> records;
   records.reserve(n);
 
+  // Shares the timeline engine's allocation discipline: one cursor over the
+  // trace index and one observation whose vectors are refilled in place.
+  net::TraceCursor link(trace);
+  AbrObservation obs;
+  obs.num_chunks = n;
+  obs.video = &video;
+  obs.throughput_history_kbps.reserve(config_.throughput_history_len + 1);
+  obs.future_weights.reserve(config_.weight_horizon);
+
   for (size_t i = 0; i < n; ++i) {
-    AbrObservation obs;
     obs.next_chunk = i;
-    obs.num_chunks = n;
     obs.buffer_s = buffer_s;
     obs.last_level = last_level;
     obs.last_throughput_kbps = last_throughput;
     obs.last_download_time_s = last_download_time;
     obs.throughput_history_kbps = history;
-    obs.video = &video;
     if (!weights.empty()) {
       size_t end = std::min(n, i + config_.weight_horizon);
       obs.future_weights.assign(weights.begin() + static_cast<long>(i),
@@ -82,7 +89,7 @@ SessionResult Player::stream_legacy(const media::EncodedVideo& video,
     rec.visual_quality = rep.visual_quality;
     rec.download_start_s = wall_clock_s;
 
-    double dl = trace.download_time_s(rep.size_bytes, wall_clock_s, config_.rtt_s);
+    double dl = link.download_time_s(rep.size_bytes, wall_clock_s, config_.rtt_s);
     rec.download_time_s = dl;
     wall_clock_s += dl;
 

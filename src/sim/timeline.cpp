@@ -183,6 +183,11 @@ SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVi
   const size_t levels = video.ladder().level_count();
 
   auto timeline = std::make_shared<SessionTimeline>(tau, config.rtt_s);
+  timeline->reserve(n);
+  // Cursor over the trace's cumulative-capacity index: the session's wall
+  // clock advances monotonically, so the finishing-interval search warm-
+  // starts from the previous chunk's position.
+  net::TraceCursor link(trace);
 
   double wall_clock_s = 0.0;
   double buffer_s = 0.0;
@@ -194,21 +199,29 @@ SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVi
   double last_throughput = 0.0;
   double last_download_time = 0.0;
   std::vector<double> history;
+  history.reserve(config.throughput_history_len + 1);
 
   std::vector<ChunkRecord> records;
   records.reserve(n);
   bool outage = false;
 
+  // One observation reused across the loop: its vectors reach their
+  // high-water capacity during the first chunks and the per-chunk refills
+  // below never touch the heap again.
+  AbrObservation obs;
+  obs.num_chunks = n;
+  obs.video = &video;
+  obs.timeline = timeline.get();
+  obs.throughput_history_kbps.reserve(config.throughput_history_len + 1);
+  obs.future_weights.reserve(config.weight_horizon);
+
   for (size_t i = 0; i < n; ++i) {
-    AbrObservation obs;
     obs.next_chunk = i;
-    obs.num_chunks = n;
     obs.buffer_s = buffer_s;
     obs.last_level = last_level;
     obs.last_throughput_kbps = last_throughput;
     obs.last_download_time_s = last_download_time;
     obs.throughput_history_kbps = history;
-    obs.video = &video;
     if (!weights.empty()) {
       size_t end = std::min(n, i + config.weight_horizon);
       obs.future_weights.assign(weights.begin() + static_cast<long>(i),
@@ -218,7 +231,6 @@ SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVi
     obs.playhead_s = playhead_s;
     obs.total_stall_s = total_stall_s;
     obs.last_rtt_s = i > 0 ? config.rtt_s : 0.0;
-    obs.timeline = timeline.get();
 
     AbrDecision decision = policy.decide(obs);
     if (decision.level >= levels) decision.level = levels - 1;
@@ -227,7 +239,7 @@ SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVi
     const auto& rep = video.rep(i, decision.level);
 
     // RTT first (dead wall clock, no trace capacity), then the transfer.
-    net::TransferResult transfer = trace.advance(rep.size_bytes, wall_clock_s + config.rtt_s);
+    net::TransferResult transfer = link.advance(rep.size_bytes, wall_clock_s + config.rtt_s);
     if (!transfer.completed) {
       // The link died: this chunk can never arrive. Truncate the session
       // and surface the outage instead of faking a completed download.

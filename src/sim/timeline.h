@@ -144,6 +144,9 @@ class SessionTimeline {
   bool check_invariants(std::string* why = nullptr) const;
 
   // --- engine-side mutation (used by stream_timeline) ---------------------
+  // Pre-sizes the trajectory store so the per-chunk push never reallocates
+  // on the session hot path.
+  void reserve(size_t num_chunks) { chunks_.reserve(num_chunks); }
   void push_chunk(const ChunkTrajectory& t) { chunks_.push_back(t); }
   void set_startup_delay(double s) { startup_delay_s_ = s; }
   void mark_outage(size_t chunk, double wall_s);
