@@ -1,0 +1,321 @@
+// Multi-session simulator bench: how many concurrent contending viewers the
+// event loop sustains, and the determinism/identity gates that make the
+// numbers trustworthy. Emits machine-readable BENCH_multisession.json
+// (schema in bench/README.md).
+//
+//   ./bench_multisession                       full sweep (~1 min)
+//   ./bench_multisession --smoke               reduced sweep for CI (~5 s)
+//   ./bench_multisession --out FILE            JSON destination
+//   ./bench_multisession --threads N           ExperimentRunner pool size
+//   ./bench_multisession --trace-integration indexed|walker
+//
+// Three sections:
+//  1. identity — single sessions driven through the Simulator on a
+//     dedicated link, diffed field-by-field against Player::stream (the
+//     tests/test_simulator.cpp gate, re-run here on every bench); any diff
+//     fails the process.
+//  2. grid — Experiments::run_multisession_grid cells printed as
+//     deterministic "grid ..." rows. CI diffs these across --threads 1/4
+//     and across --trace-integration modes: they must be byte-identical.
+//  3. scale — staggered-arrival contention scenarios on one shared
+//     bottleneck sized N x a per-viewer fair share, up to >= 1000 concurrent
+//     sessions; reports wall time and sessions/s.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bba.h"
+#include "abr/fugu.h"
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "sim/simulator.h"
+
+using namespace sensei;
+
+namespace {
+
+struct CellAggregate {
+  size_t sessions = 0;
+  size_t chunks = 0;
+  size_t outages = 0;
+  double mean_bitrate_kbps = 0.0;
+  double total_rebuffer_s = 0.0;
+  double dl_checksum_s = 0.0;  // sum of download times: a bit-level digest
+};
+
+CellAggregate aggregate(const std::vector<sim::MultiSessionResult>& cell) {
+  CellAggregate agg;
+  agg.sessions = cell.size();
+  double bitrate_sum = 0.0;
+  for (const sim::MultiSessionResult& r : cell) {
+    agg.chunks += r.session.chunks().size();
+    if (r.session.outcome() == sim::SessionOutcome::kOutage) ++agg.outages;
+    bitrate_sum += r.session.mean_bitrate_kbps();
+    agg.total_rebuffer_s += r.session.total_rebuffer_s();
+    for (const sim::ChunkRecord& c : r.session.chunks()) agg.dl_checksum_s += c.download_time_s;
+  }
+  agg.mean_bitrate_kbps = cell.empty() ? 0.0 : bitrate_sum / static_cast<double>(cell.size());
+  return agg;
+}
+
+// Peak number of sessions simultaneously in flight (arrival to last event).
+size_t peak_concurrency(const std::vector<sim::MultiSessionResult>& results) {
+  std::vector<std::pair<double, int>> edges;
+  edges.reserve(results.size() * 2);
+  for (const sim::MultiSessionResult& r : results) {
+    double duration = r.session.timeline() != nullptr ? r.session.timeline()->duration_s() : 0.0;
+    edges.push_back({r.start_s, +1});
+    edges.push_back({r.start_s + duration, -1});
+  }
+  std::sort(edges.begin(), edges.end());
+  size_t peak = 0;
+  long cur = 0;
+  for (const auto& e : edges) {
+    cur += e.second;
+    peak = std::max(peak, static_cast<size_t>(std::max(0L, cur)));
+  }
+  return peak;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::check_flags(argc, argv, {"--out", "--threads", "--trace-integration"}, {"--smoke"},
+                     "bench_multisession [--smoke] [--out FILE] [--threads N] "
+                     "[--trace-integration indexed|walker]");
+  const bool smoke = bench::smoke_arg(argc, argv);
+  const std::string out_path = bench::out_arg(argc, argv, "BENCH_multisession.json");
+  const net::TraceIntegration integration = bench::trace_integration_arg(argc, argv);
+  core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+
+  // ---- 1. identity: Simulator (dedicated, single session) vs Player ------
+  size_t identity_cells = 0;
+  size_t identity_diffs = 0;
+  {
+    std::vector<media::EncodedVideo> videos;
+    media::Encoder encoder;
+    videos.push_back(encoder.encode(
+        media::SourceVideo::generate("MsIdA", media::Genre::kSports, 120)));
+    videos.push_back(encoder.encode(
+        media::SourceVideo::generate("MsIdB", media::Genre::kNature, 120)));
+    std::vector<net::ThroughputTrace> traces = {
+        net::TraceGenerator::cellular("ms-id-cell", 900, 500.0, 41),
+        net::TraceGenerator::broadband("ms-id-bb", 2800, 500.0, 42),
+        net::ThroughputTrace("ms-id-cliff", std::vector<double>(40, 3200.0), 1.0).as_finite(),
+    };
+    sim::PlayerConfig config;
+    for (const media::EncodedVideo& video : videos) {
+      for (const net::ThroughputTrace& trace : traces) {
+        for (int kind = 0; kind < 2; ++kind) {
+          auto make = [&]() -> std::unique_ptr<sim::AbrPolicy> {
+            if (kind == 0) return std::make_unique<abr::BbaAbr>();
+            return std::make_unique<abr::FuguAbr>();
+          };
+          auto player_policy = make();
+          sim::SessionResult expected =
+              sim::Player(config).stream(video, trace, *player_policy);
+          auto sim_policy = make();
+          sim::SessionSpec spec;
+          spec.video = &video;
+          spec.policy = sim_policy.get();
+          auto got = sim::Simulator(config).run({spec}, trace, sim::LinkMode::kDedicated);
+          ++identity_cells;
+          identity_diffs += bench::sessions_differ(expected, got[0].session) ? 1 : 0;
+        }
+      }
+    }
+  }
+  std::printf("identity: %zu single-session Simulator-vs-Player cells, %zu diffs\n\n",
+              identity_cells, identity_diffs);
+
+  // ---- 2. deterministic multi-session grid (CI diffs these rows) ----------
+  struct GridRow {
+    core::Experiments::MultiSessionCell cell;
+    CellAggregate agg;
+  };
+  std::vector<GridRow> grid_rows;
+  {
+    std::vector<core::Experiments::MultiSessionCell> cells;
+    const std::vector<size_t> trace_indexes =
+        smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 7};
+    const size_t grid_sessions = smoke ? 6 : 12;
+    for (size_t trace_index : trace_indexes) {
+      for (sim::LinkMode mode : {sim::LinkMode::kShared, sim::LinkMode::kDedicated}) {
+        core::Experiments::MultiSessionCell cell;
+        cell.trace_index = trace_index;
+        cell.num_sessions = grid_sessions;
+        cell.stagger_s = 5.0;
+        cell.mode = mode;
+        cells.push_back(cell);
+      }
+    }
+    auto factory = [] { return std::make_unique<abr::BbaAbr>(); };
+    auto results = core::Experiments::run_multisession_grid(cells, factory, false, runner);
+    for (size_t c = 0; c < cells.size(); ++c) {
+      grid_rows.push_back({cells[c], aggregate(results[c])});
+      const GridRow& row = grid_rows.back();
+      std::printf("grid trace=%s mode=%s sessions=%zu stagger=%.1f outages=%zu chunks=%zu "
+                  "mean_kbps=%.9g rebuffer_s=%.9g dl_checksum=%.9g\n",
+                  core::Experiments::traces()[row.cell.trace_index].name().c_str(),
+                  sim::to_string(row.cell.mode), row.agg.sessions, row.cell.stagger_s,
+                  row.agg.outages, row.agg.chunks, row.agg.mean_bitrate_kbps,
+                  row.agg.total_rebuffer_s, row.agg.dl_checksum_s);
+    }
+    std::printf("\n");
+  }
+
+  // ---- 3. scale: contention scenarios up to >= 1000 concurrent sessions ---
+  struct ScenarioRow {
+    std::string policy;
+    size_t sessions = 0;
+    double stagger_s = 0.0;
+    double wall_s = 0.0;
+    CellAggregate agg;
+    size_t peak_concurrent = 0;
+    double sim_duration_s = 0.0;
+  };
+  std::vector<ScenarioRow> scenario_rows;
+  {
+    media::Encoder encoder;
+    std::vector<media::EncodedVideo> videos;
+    const media::Genre genres[] = {media::Genre::kSports, media::Genre::kNature,
+                                   media::Genre::kGaming, media::Genre::kAnimation};
+    for (size_t i = 0; i < 4; ++i) {
+      videos.push_back(encoder.encode(media::SourceVideo::generate(
+          "MsScale" + std::to_string(i), genres[i], 120.0)));
+    }
+    std::vector<const media::EncodedVideo*> video_ptrs;
+    for (const auto& v : videos) video_ptrs.push_back(&v);
+    net::ThroughputTrace base = net::TraceGenerator::cellular("ms-bottleneck", 1700, 500.0, 77);
+
+    struct ScenarioSpec {
+      const char* policy;
+      size_t sessions;
+    };
+    std::vector<ScenarioSpec> scenarios = smoke
+                                              ? std::vector<ScenarioSpec>{{"bba", 50},
+                                                                          {"bba", 200}}
+                                              : std::vector<ScenarioSpec>{{"bba", 100},
+                                                                          {"fugu", 100},
+                                                                          {"bba", 400},
+                                                                          {"bba", 1000}};
+    std::printf("scale: staggered arrivals on a shared bottleneck of N x 1700 Kbps "
+                "(%zu thread(s) build the cells; the event loop itself is serial)\n",
+                runner.num_threads());
+    std::printf("%8s %9s %10s %12s %12s %10s %8s\n", "policy", "sessions", "peak", "wall s",
+                "sessions/s", "chunks/s", "outages");
+    for (const ScenarioSpec& scenario : scenarios) {
+      // Bottleneck sized for a ~1700 Kbps per-viewer fair share, like a CDN
+      // edge serving N concurrent players.
+      net::ThroughputTrace bottleneck = base.scaled(
+          static_cast<double>(scenario.sessions),
+          "ms-bottleneck-x" + std::to_string(scenario.sessions));
+      // All arrivals inside a 50 s window: shorter than any session lives,
+      // so the whole population is genuinely concurrent at its peak.
+      const double stagger_s = 50.0 / static_cast<double>(scenario.sessions);
+      std::vector<std::unique_ptr<sim::AbrPolicy>> policies;
+      std::vector<sim::AbrPolicy*> policy_ptrs;
+      for (size_t k = 0; k < scenario.sessions; ++k) {
+        if (std::string(scenario.policy) == "fugu") {
+          policies.push_back(std::make_unique<abr::FuguAbr>());
+        } else {
+          policies.push_back(std::make_unique<abr::BbaAbr>());
+        }
+        policy_ptrs.push_back(policies.back().get());
+      }
+      auto specs =
+          sim::staggered_specs(video_ptrs, policy_ptrs, {}, scenario.sessions, stagger_s);
+      double start = bench::now_s();
+      auto results = sim::Simulator().run(specs, bottleneck, sim::LinkMode::kShared);
+      double wall = bench::now_s() - start;
+
+      ScenarioRow row;
+      row.policy = scenario.policy;
+      row.sessions = scenario.sessions;
+      row.stagger_s = stagger_s;
+      row.wall_s = wall;
+      row.agg = aggregate(results);
+      row.peak_concurrent = peak_concurrency(results);
+      for (const sim::MultiSessionResult& r : results) {
+        if (r.session.timeline() != nullptr) {
+          row.sim_duration_s =
+              std::max(row.sim_duration_s, r.start_s + r.session.timeline()->duration_s());
+        }
+      }
+      scenario_rows.push_back(row);
+      std::printf("%8s %9zu %10zu %12.3f %12.1f %10.0f %8zu\n", row.policy.c_str(),
+                  row.sessions, row.peak_concurrent, row.wall_s,
+                  static_cast<double>(row.sessions) / row.wall_s,
+                  static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages);
+    }
+  }
+
+  // ---- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"multisession\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"config\": {\"threads\": %zu, \"trace_integration\": \"%s\"},\n",
+               runner.num_threads(),
+               integration == net::TraceIntegration::kWalker ? "walker" : "indexed");
+  std::fprintf(f, "  \"identity\": {\"cells\": %zu, \"diffs\": %zu},\n", identity_cells,
+               identity_diffs);
+  std::fprintf(f, "  \"grid\": [\n");
+  for (size_t i = 0; i < grid_rows.size(); ++i) {
+    const GridRow& row = grid_rows[i];
+    std::fprintf(f,
+                 "    {\"trace\": \"%s\", \"mode\": \"%s\", \"sessions\": %zu, "
+                 "\"stagger_s\": %.1f, \"outages\": %zu, \"chunks\": %zu, "
+                 "\"mean_bitrate_kbps\": %.6f, \"total_rebuffer_s\": %.6f}%s\n",
+                 core::Experiments::traces()[row.cell.trace_index].name().c_str(),
+                 sim::to_string(row.cell.mode), row.agg.sessions, row.cell.stagger_s,
+                 row.agg.outages, row.agg.chunks, row.agg.mean_bitrate_kbps,
+                 row.agg.total_rebuffer_s, i + 1 < grid_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  size_t max_sessions = 0;
+  double peak_rate = 0.0;
+  for (size_t i = 0; i < scenario_rows.size(); ++i) {
+    const ScenarioRow& row = scenario_rows[i];
+    double rate = static_cast<double>(row.sessions) / row.wall_s;
+    max_sessions = std::max(max_sessions, row.peak_concurrent);
+    peak_rate = std::max(peak_rate, rate);
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"sessions\": %zu, \"peak_concurrent\": %zu, "
+                 "\"stagger_s\": %.6g, \"link\": \"shared\", \"wall_s\": %.4f, "
+                 "\"sessions_per_s\": %.1f, \"chunks\": %zu, \"chunks_per_s\": %.0f, "
+                 "\"outages\": %zu, \"sim_duration_s\": %.1f}%s\n",
+                 row.policy.c_str(), row.sessions, row.peak_concurrent, row.stagger_s,
+                 row.wall_s, rate, row.agg.chunks,
+                 static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages,
+                 row.sim_duration_s, i + 1 < scenario_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"summary\": {\"max_concurrent_sessions\": %zu, "
+               "\"peak_sessions_per_s\": %.1f, \"identity_diffs\": %zu}\n",
+               max_sessions, peak_rate, identity_diffs);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (identity_diffs > 0) {
+    std::fprintf(stderr, "error: Simulator vs Player identity violated (%zu diffs)\n",
+                 identity_diffs);
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "abr/planner.h"
+#include "bench_util.h"
 #include "media/dataset.h"
 #include "util/rng.h"
 
@@ -93,20 +94,13 @@ double time_plans_ns(abr::Planner& planner, const std::vector<abr::PlanQuery>& q
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path = "BENCH_planner.json";
+  bench::check_flags(argc, argv, {"--out", "--quantum"}, {"--smoke"},
+                     "bench_planner [--smoke] [--out FILE] [--quantum S]");
+  const bool smoke = bench::smoke_arg(argc, argv);
+  const std::string out_path = bench::out_arg(argc, argv, "BENCH_planner.json");
   double quantum = abr::kDefaultDpBufferQuantumS;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--quantum") == 0 && i + 1 < argc) {
-      quantum = std::atof(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: bench_planner [--smoke] [--out FILE] [--quantum S]\n");
-      return 2;
-    }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--quantum") == 0) quantum = std::atof(argv[i + 1]);
   }
 
   const std::vector<size_t> horizons =

@@ -38,12 +38,6 @@ using namespace sensei;
 
 namespace {
 
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // --- advance() microbench --------------------------------------------------
 
 // Cellular-like looping trace with zero-run fades, `intervals` samples.
@@ -94,7 +88,7 @@ double time_advances_ns(const net::ThroughputTrace& looping,
                         const net::ThroughputTrace& finite,
                         const std::vector<Probe>& probes, net::TraceIntegration mode,
                         size_t reps, double* checksum) {
-  double start = now_s();
+  double start = bench::now_s();
   double sum = 0.0;
   for (size_t r = 0; r < reps; ++r) {
     for (const auto& p : probes) {
@@ -106,7 +100,7 @@ double time_advances_ns(const net::ThroughputTrace& looping,
       sum += b.completed ? b.elapsed_s : -1.0;
     }
   }
-  double total_ns = (now_s() - start) * 1e9;
+  double total_ns = (bench::now_s() - start) * 1e9;
   *checksum += sum;
   return total_ns / static_cast<double>(reps * probes.size() * 2);
 }
@@ -133,7 +127,7 @@ GridOutput run_sessions(const std::vector<media::EncodedVideo>& videos,
   GridOutput out;
   out.sessions.resize(videos.size() * traces.size());
   sim::Player player;
-  double start = now_s();
+  double start = bench::now_s();
   runner.for_each(out.sessions.size(), [&](size_t i) {
     size_t v = i / traces.size();
     size_t t = i % traces.size();
@@ -142,7 +136,7 @@ GridOutput run_sessions(const std::vector<media::EncodedVideo>& videos,
     out.sessions[i] = player.stream(videos[v], traces[t], *policy,
                                     spec.use_weights ? weights[v] : none);
   });
-  out.wall_s = now_s() - start;
+  out.wall_s = bench::now_s() - start;
   for (const auto& s : out.sessions) out.chunks += s.chunks().size();
   return out;
 }
@@ -152,21 +146,7 @@ size_t diff_sessions(const std::vector<sim::SessionResult>& a,
   size_t diffs = 0;
   if (a.size() != b.size()) return a.size() + b.size();
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].chunks().size() != b[i].chunks().size()) {
-      ++diffs;
-      continue;
-    }
-    for (size_t j = 0; j < a[i].chunks().size(); ++j) {
-      const auto& x = a[i].chunks()[j];
-      const auto& y = b[i].chunks()[j];
-      if (x.level != y.level || x.download_time_s != y.download_time_s ||
-          x.rebuffer_s != y.rebuffer_s ||
-          x.scheduled_rebuffer_s != y.scheduled_rebuffer_s ||
-          x.buffer_after_s != y.buffer_after_s) {
-        ++diffs;
-        break;
-      }
-    }
+    if (bench::sessions_differ(a[i], b[i])) ++diffs;
   }
   return diffs;
 }
@@ -174,21 +154,10 @@ size_t diff_sessions(const std::vector<sim::SessionResult>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path = "BENCH_session.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      ++i;  // parsed by bench::threads_arg
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_session_throughput [--smoke] [--out FILE] [--threads N]\n");
-      return 2;
-    }
-  }
+  bench::check_flags(argc, argv, {"--out", "--threads"}, {"--smoke"},
+                     "bench_session_throughput [--smoke] [--out FILE] [--threads N]");
+  const bool smoke = bench::smoke_arg(argc, argv);
+  const std::string out_path = bench::out_arg(argc, argv, "BENCH_session.json");
   const uint64_t seed = 0x5e551011;
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
 

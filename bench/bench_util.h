@@ -2,9 +2,11 @@
 // and figures. Each binary prints the same rows/series the paper reports.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,8 @@
 #include "media/encoder.h"
 #include "net/trace.h"
 #include "sim/render.h"
+#include "sim/session.h"
+#include "sim/timeline.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -75,6 +79,133 @@ inline size_t threads_arg(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+// Monotonic wall clock in seconds, for the timing loops of the perf benches.
+inline double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Parses `--smoke`: the reduced sweep the CI perf jobs run per push.
+inline bool smoke_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+// Parses `--out FILE` for the JSON-emitting benches; a present flag without
+// a destination aborts rather than silently writing the default path.
+inline std::string out_arg(int argc, char** argv, const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out requires a file path\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return default_path;
+}
+
+// Rejects argv entries outside the accepted flag set, so a typo fails loudly
+// instead of silently running the default sweep. `value_flags` consume the
+// following argument; `bool_flags` stand alone.
+inline void check_flags(int argc, char** argv, std::initializer_list<const char*> value_flags,
+                        std::initializer_list<const char*> bool_flags,
+                        const char* usage) {
+  for (int i = 1; i < argc; ++i) {
+    bool known = false;
+    for (const char* flag : value_flags) {
+      if (std::strcmp(argv[i], flag) == 0) {
+        // A value flag with a missing value — or another flag where its
+        // value belongs — must fail loudly: silently running the default
+        // would e.g. let a dropped `--trace-integration walker` turn CI's
+        // mode-diff into indexed-vs-indexed, and `--out --smoke` would be
+        // double-read as both an output path and the smoke switch.
+        if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+          std::fprintf(stderr, "error: %s requires a value\nusage: %s\n", flag, usage);
+          std::exit(2);
+        }
+        known = true;
+        ++i;  // the flag's value
+        break;
+      }
+    }
+    if (!known) {
+      for (const char* flag : bool_flags) {
+        if (std::strcmp(argv[i], flag) == 0) {
+          known = true;
+          break;
+        }
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "usage: %s\n", usage);
+      std::exit(2);
+    }
+  }
+}
+
+// True when two sessions differ in any identity-gated field: outcome,
+// startup delay, chunk count, any per-chunk record field, or — when both
+// sessions carry trajectories — any ChunkTrajectory field (stall placement
+// is the project's premise, so the bench gates must see it too). This is
+// the single comparator behind every bench-side bit-identity cross-check
+// (integration modes in bench_session_throughput, Simulator-vs-Player in
+// bench_multisession), so a new record/trajectory field only needs adding
+// here.
+inline bool sessions_differ(const sim::SessionResult& a, const sim::SessionResult& b) {
+  if (a.chunks().size() != b.chunks().size() || a.outcome() != b.outcome() ||
+      a.startup_delay_s() != b.startup_delay_s()) {
+    return true;
+  }
+  for (size_t i = 0; i < a.chunks().size(); ++i) {
+    const sim::ChunkRecord& x = a.chunks()[i];
+    const sim::ChunkRecord& y = b.chunks()[i];
+    if (x.level != y.level || x.size_bytes != y.size_bytes ||
+        x.bitrate_kbps != y.bitrate_kbps || x.visual_quality != y.visual_quality ||
+        x.download_start_s != y.download_start_s ||
+        x.download_time_s != y.download_time_s || x.rebuffer_s != y.rebuffer_s ||
+        x.scheduled_rebuffer_s != y.scheduled_rebuffer_s ||
+        x.buffer_after_s != y.buffer_after_s) {
+      return true;
+    }
+  }
+  if ((a.timeline() == nullptr) != (b.timeline() == nullptr)) return true;
+  if (a.timeline() != nullptr) {
+    const sim::SessionTimeline& ta = *a.timeline();
+    const sim::SessionTimeline& tb = *b.timeline();
+    if (ta.chunks().size() != tb.chunks().size() ||
+        ta.startup_delay_s() != tb.startup_delay_s() || ta.outcome() != tb.outcome()) {
+      return true;
+    }
+    if (ta.outcome() == sim::SessionOutcome::kOutage &&
+        (ta.outage_chunk() != tb.outage_chunk() ||
+         ta.outage_wall_s() != tb.outage_wall_s())) {
+      return true;
+    }
+    for (size_t i = 0; i < ta.chunks().size(); ++i) {
+      const sim::ChunkTrajectory& x = ta.chunks()[i];
+      const sim::ChunkTrajectory& y = tb.chunks()[i];
+      if (x.level != y.level || x.request_wall_s != y.request_wall_s ||
+          x.rtt_s != y.rtt_s || x.transfer_s != y.transfer_s ||
+          x.arrival_wall_s != y.arrival_wall_s || x.stall_s != y.stall_s ||
+          x.stall_start_wall_s != y.stall_start_wall_s ||
+          x.scheduled_pause_s != y.scheduled_pause_s || x.idle_s != y.idle_s ||
+          x.buffer_before_s != y.buffer_before_s || x.buffer_after_s != y.buffer_after_s ||
+          x.playhead_before_s != y.playhead_before_s ||
+          x.playhead_after_s != y.playhead_after_s ||
+          x.pause_debt_after_s != y.pause_debt_after_s ||
+          x.goodput_kbps != y.goodput_kbps) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 // Crowdsourced MOS for a set of renderings of one source video: runs a

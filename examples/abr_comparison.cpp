@@ -2,6 +2,7 @@
 // compare the sessions chunk by chunk — the paper's Figure 11 scenarios
 // (trading current quality for future high-sensitivity chunks) show up in
 // the per-chunk log.
+#include <algorithm>
 #include <cstdio>
 
 #include "abr/bba.h"
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
 
   sim::Player player;
   util::Table summary(
-      {"ABR", "true QoE", "mean Kbps", "rebuffer s", "scheduled s", "switches"});
+      {"ABR", "outcome", "true QoE", "mean Kbps", "rebuffer s", "scheduled s", "switches"});
 
   struct Entry {
     sim::AbrPolicy* policy;
@@ -51,7 +52,13 @@ int main(int argc, char** argv) {
                                                 : std::vector<double>{});
     double scheduled = 0.0;
     for (const auto& c : session.chunks()) scheduled += c.scheduled_rebuffer_s;
-    summary.add_row({entry.policy->name(),
+    // A truncated session's QoE covers only the chunks delivered before the
+    // link died — label it so a partial score is never read as a full one.
+    std::string outcome = session.outcome() == sim::SessionOutcome::kOutage
+                              ? "OUTAGE@" + std::to_string(session.chunks().size()) + "/" +
+                                    std::to_string(video.num_chunks())
+                              : std::string("completed");
+    summary.add_row({entry.policy->name(), outcome,
                      util::Table::format_double(
                          oracle.score(session.to_rendered(video)), 3),
                      util::Table::format_double(session.mean_bitrate_kbps(), 0),
@@ -65,11 +72,14 @@ int main(int argc, char** argv) {
               source.length_string().c_str(), trace.name().c_str(), trace.mean_kbps(),
               summary.to_string().c_str());
 
-  // Chunk-level view of where the two controllers diverge.
+  // Chunk-level view of where the two controllers diverge. Truncated
+  // sessions may have different lengths, so only the common prefix is
+  // comparable chunk-by-chunk.
   std::printf("chunks where Sensei-Fugu diverges from Fugu "
               "(w = sensitivity weight):\n");
   util::Table diff({"chunk", "w", "Fugu level", "Sensei level", "Sensei stall s"});
-  for (size_t i = 0; i < sensei_session.chunks().size(); ++i) {
+  size_t comparable = std::min(sensei_session.chunks().size(), fugu_session.chunks().size());
+  for (size_t i = 0; i < comparable; ++i) {
     const auto& a = fugu_session.chunks()[i];
     const auto& b = sensei_session.chunks()[i];
     if (a.level != b.level || b.scheduled_rebuffer_s > 0) {

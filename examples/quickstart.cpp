@@ -42,14 +42,22 @@ int main() {
   //    timeline engine attaches the exact trajectory to every session, so
   //    stall placement (SENSEI's whole premise) is read off it directly.
   sim::Player player;
-  util::Table table(
-      {"ABR", "true QoE", "mean Kbps", "rebuffer s", "stalls", "first stall @", "switches"});
+  util::Table table({"ABR", "outcome", "true QoE", "mean Kbps", "rebuffer s", "stalls",
+                     "first stall @", "switches"});
 
   auto evaluate = [&](sim::AbrPolicy& policy, const std::vector<double>& weights) {
     sim::SessionResult session = player.stream(video, trace, policy, weights);
     double qoe = oracle.score(session.to_rendered(video));
     qoe::StallProfile stalls = qoe::stall_profile(*session.timeline());
-    table.add_row({policy.name(), util::Table::format_double(qoe, 3),
+    // Surface how the session ended: on an outage the link died mid-stream,
+    // the session truncated, and the QoE below covers only the delivered
+    // prefix — printing it unlabeled would overstate the experience.
+    std::string outcome =
+        session.outcome() == sim::SessionOutcome::kOutage
+            ? "OUTAGE@" + std::to_string(session.chunks().size()) + "/" +
+                  std::to_string(video.num_chunks())
+            : std::string("completed");
+    table.add_row({policy.name(), outcome, util::Table::format_double(qoe, 3),
                    util::Table::format_double(session.mean_bitrate_kbps(), 0),
                    util::Table::format_double(session.total_rebuffer_s(), 1),
                    std::to_string(stalls.stall_event_count),

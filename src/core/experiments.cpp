@@ -1,5 +1,6 @@
 #include "core/experiments.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "qoe/ksqi.h"
@@ -170,6 +171,51 @@ std::vector<Experiments::RunResult> Experiments::run_grid(const PolicyFactory& m
                                                           const ExperimentRunner& runner) {
   return run_grid(videos(), traces(), make_policy,
                   use_weights ? weights() : std::vector<std::vector<double>>{}, runner);
+}
+
+std::vector<std::vector<sim::MultiSessionResult>> Experiments::run_multisession_grid(
+    const std::vector<MultiSessionCell>& cells, const PolicyFactory& make_policy,
+    bool use_weights, const ExperimentRunner& runner, const sim::PlayerConfig& config) {
+  const auto& video_set = videos();
+  const auto& trace_set = traces();
+  for (const MultiSessionCell& cell : cells) {
+    if (cell.trace_index >= trace_set.size())
+      throw std::invalid_argument("run_multisession_grid: trace index out of range");
+    if (cell.num_sessions == 0)
+      throw std::invalid_argument("run_multisession_grid: empty cell");
+    if (!std::isfinite(cell.stagger_s) || cell.stagger_s < 0.0)
+      throw std::invalid_argument("run_multisession_grid: stagger must be finite and >= 0");
+  }
+  if (use_weights) weights();  // warm the profiling cache off the workers
+
+  // The video/weight pools are shared read-only state: build the pointer
+  // views once, outside the workers.
+  std::vector<const media::EncodedVideo*> video_ptrs;
+  video_ptrs.reserve(video_set.size());
+  for (const auto& v : video_set) video_ptrs.push_back(&v);
+  std::vector<const std::vector<double>*> weight_ptrs;
+  if (use_weights) {
+    for (const auto& w : weights()) weight_ptrs.push_back(&w);
+  }
+
+  std::vector<std::vector<sim::MultiSessionResult>> out(cells.size());
+  runner.for_each(cells.size(), [&](size_t c) {
+    const MultiSessionCell& cell = cells[c];
+    // Per-session mutable collaborators are built inside the task, like
+    // run_grid: one policy instance per concurrent viewer.
+    std::vector<std::unique_ptr<sim::AbrPolicy>> policies;
+    policies.reserve(cell.num_sessions);
+    std::vector<sim::AbrPolicy*> policy_ptrs;
+    policy_ptrs.reserve(cell.num_sessions);
+    for (size_t k = 0; k < cell.num_sessions; ++k) {
+      policies.push_back(make_policy());
+      policy_ptrs.push_back(policies.back().get());
+    }
+    auto specs = sim::staggered_specs(video_ptrs, policy_ptrs, weight_ptrs,
+                                      cell.num_sessions, cell.stagger_s);
+    out[c] = sim::Simulator(config).run(specs, trace_set[cell.trace_index], cell.mode);
+  });
+  return out;
 }
 
 size_t Experiments::video_index(const std::string& name) {

@@ -18,6 +18,7 @@
 #include "media/dataset.h"
 #include "net/trace_gen.h"
 #include "sim/player.h"
+#include "sim/simulator.h"
 
 namespace sensei::core {
 
@@ -76,6 +77,31 @@ class Experiments {
   // with use_weights selecting the profiled weights() or none.
   static std::vector<RunResult> run_grid(const PolicyFactory& make_policy,
                                          bool use_weights, const ExperimentRunner& runner);
+
+  // --- multi-session contention grids (shared-bottleneck scenarios) --------
+
+  // One multi-session scenario: `num_sessions` viewers arriving staggered
+  // (session k's first request at k * stagger_s) on traces()[trace_index],
+  // either all contending on one net::SharedLink (kShared) or each on a
+  // private copy of the trace (kDedicated — the no-contention control).
+  // Videos (and their weights, when enabled) cycle round-robin over the
+  // evaluation set; every session gets its own policy instance.
+  struct MultiSessionCell {
+    size_t trace_index = 0;
+    size_t num_sessions = 1;
+    double stagger_s = 0.0;
+    sim::LinkMode mode = sim::LinkMode::kShared;
+  };
+
+  // Simulates every cell through sim::Simulator, fanning cells over
+  // `runner`. results[c] holds cell c's per-session results in arrival
+  // order, bit-identical to a serial run regardless of thread count (each
+  // cell is an independent, deterministic event-loop run — the same
+  // contract run_grid's single-session cells obey).
+  static std::vector<std::vector<sim::MultiSessionResult>> run_multisession_grid(
+      const std::vector<MultiSessionCell>& cells, const PolicyFactory& make_policy,
+      bool use_weights, const ExperimentRunner& runner,
+      const sim::PlayerConfig& config = sim::PlayerConfig());
 };
 
 }  // namespace sensei::core

@@ -1,0 +1,120 @@
+#include "net/shared_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sensei::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A transfer completes when its remaining bits fall within one bit of zero.
+// The slack absorbs the rounding drift between the credit accumulator and
+// the trace integrator (both exact to ~1e-4 bits at session scale); one bit
+// is sub-microsecond timing error at any realistic bandwidth, and far below
+// any real chunk, so it can never complete a transfer spuriously early.
+constexpr double kFinishEpsBits = 1.0;
+
+}  // namespace
+
+SharedLink::SharedLink(const ThroughputTrace& trace) : trace_(&trace) {
+  trace.index();  // fail fast on a default-constructed trace
+}
+
+double SharedLink::cumulative_bits(double t) const {
+  const std::vector<double>& prefix = trace_->index().prefix_bits;
+  const size_t n = trace_->sample_count();
+  const double period_bits = prefix[n];
+  if (!(t > 0.0)) return 0.0;
+  // t = +inf: a finite trace caps at one period; a looping trace delivers
+  // without bound — unless its period carries nothing (dead link: 0).
+  if (!std::isfinite(t)) {
+    if (trace_->finite() || period_bits <= 0.0) return period_bits;
+    return kInf;
+  }
+  const double interval = trace_->interval_s();
+  const double period_s = interval * static_cast<double>(n);
+  if (trace_->finite() && t >= period_s) return period_bits;
+  double whole = std::floor(t / period_s);
+  double rem = t - whole * period_s;
+  auto idx = static_cast<size_t>(rem / interval);
+  if (idx >= n) idx = n - 1;  // fp guard at the period boundary
+  double span = rem - static_cast<double>(idx) * interval;
+  if (span > interval) span = interval;
+  return whole * period_bits + prefix[idx] + trace_->samples_kbps()[idx] * 1000.0 * span;
+}
+
+size_t SharedLink::begin(double bytes, double start_s) {
+  if (!(bytes > 0.0)) throw std::runtime_error("shared link: transfer must carry bytes");
+  // Joins happen at the link's current instant: the driver advances the link
+  // to each event time before letting sessions act at it.
+  if (std::abs(start_s - now_s_) > 1e-9 * std::max(1.0, std::abs(now_s_))) {
+    throw std::runtime_error("shared link: transfer must join at the link's current instant");
+  }
+  Transfer transfer;
+  transfer.total_bits = bytes * 8.0;
+  transfer.joined_drained_bits = drained_bits_;
+  transfer.finish_credit = transfer.total_bits + drained_bits_;
+  size_t id = transfers_.size();
+  transfers_.push_back(transfer);
+  credits_.insert({transfer.finish_credit, id});
+  return id;
+}
+
+double SharedLink::next_completion_s() const {
+  if (credits_.empty()) return kInf;
+  double min_remaining = credits_.begin()->finish_credit - drained_bits_;
+  if (min_remaining <= kFinishEpsBits) return now_s_;
+  // Equal split: everyone drains at capacity / n, so the next finisher needs
+  // the link to deliver its remaining bits times the active count.
+  double bits_needed = min_remaining * static_cast<double>(credits_.size());
+  TransferResult r = trace_->advance(bits_needed / 8.0, now_s_);
+  if (!r.completed) return kInf;
+  return now_s_ + r.elapsed_s;
+}
+
+void SharedLink::advance_to(double t) {
+  if (t < now_s_) throw std::runtime_error("shared link: time may not run backwards");
+  if (t > now_s_) {
+    if (!credits_.empty()) {
+      double delta_bits = cumulative_bits(t) - cumulative_bits(now_s_);
+      drained_bits_ += delta_bits / static_cast<double>(credits_.size());
+    }
+    now_s_ = t;
+  }
+  while (!credits_.empty() &&
+         credits_.begin()->finish_credit - drained_bits_ <= kFinishEpsBits) {
+    size_t id = credits_.begin()->id;
+    credits_.erase(credits_.begin());
+    transfers_[id].finished = true;
+    transfers_[id].finish_s = now_s_;
+    completions_.push_back({id, now_s_});
+  }
+}
+
+std::vector<SharedLink::Completion> SharedLink::take_completions() {
+  std::vector<Completion> out = std::move(completions_);
+  completions_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return out;
+}
+
+SharedLink::TransferView SharedLink::view(size_t id) const {
+  if (id >= transfers_.size()) throw std::runtime_error("shared link: unknown transfer id");
+  const Transfer& transfer = transfers_[id];
+  TransferView view;
+  view.total_bits = transfer.total_bits;
+  view.finished = transfer.finished;
+  view.finish_s = transfer.finish_s;
+  view.granted_bits = transfer.finished
+                          ? transfer.total_bits
+                          : std::min(transfer.total_bits,
+                                     std::max(0.0, drained_bits_ - transfer.joined_drained_bits));
+  return view;
+}
+
+}  // namespace sensei::net

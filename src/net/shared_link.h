@@ -1,0 +1,120 @@
+// Shared bottleneck link: one trace's capacity split across concurrent
+// transfers.
+//
+// Model: at any instant the link's capacity (the trace step function) is
+// divided *equally* among the active transfers — the fluid limit of
+// per-connection fair queueing on a common bottleneck, the standard
+// contention model in multi-client ABR studies. Consequences the tests pin
+// down (tests/test_simulator.cpp):
+//
+//  * conservation — over any span the bits granted across all transfers sum
+//    to exactly the trace capacity of that span (no transfer ever rides
+//    capacity the trace did not deliver, none is wasted while anyone is
+//    active);
+//  * fairness — symmetric transfers progress identically and finish
+//    together;
+//  * work conservation — when all but one transfer leave, the survivor gets
+//    the full link from that instant on.
+//
+// Mechanically the link rides the same cumulative-capacity prefix sums as
+// ThroughputTrace::advance (net::TraceIndex): equal split means every active
+// transfer drains at the same bits/s, so the relative order of their
+// remaining bits never changes between membership events. Each transfer is
+// therefore booked once, at join time, as a *finish credit* (bits remaining
+// + bits already drained per transfer); the ordered credit set plus one
+// global drained-bits accumulator answer "who finishes next" and "how much
+// has everyone received" in O(log n) per event, with no per-transfer update
+// on the hot path.
+//
+// The link is a passive integrator: a driver (sim::Simulator) advances it
+// through time with advance_to(), never past next_completion_s(), and joins
+// transfers only at the link's current instant — which is exactly how the
+// event loop produces its times, so the contract costs the driver nothing.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace sensei::net {
+
+class SharedLink {
+ public:
+  // `trace` must outlive the link. Time 0 of the link is time 0 of the trace.
+  explicit SharedLink(const ThroughputTrace& trace);
+
+  const ThroughputTrace& trace() const { return *trace_; }
+  double now_s() const { return now_s_; }
+  size_t active_count() const { return credits_.size(); }
+
+  // Registers a transfer of `bytes` (> 0) starting at `start_s`, which must
+  // be the link's current instant (the driver advances the link to an event
+  // time, then lets sessions join at it). Returns the transfer's id.
+  size_t begin(double bytes, double start_s);
+
+  // Earliest absolute time at which an active transfer completes if the
+  // active set stays fixed; +infinity when there is no active transfer or
+  // the link can never deliver the remaining bits (dead link — all-zero
+  // looping trace or exhausted finite trace).
+  double next_completion_s() const;
+
+  // Drains shared capacity up to absolute time `t` (>= now, and not past
+  // next_completion_s() + the completion instant itself): every active
+  // transfer receives an equal share of the trace capacity over [now, t].
+  // Transfers whose remaining bits reach zero at `t` complete and leave the
+  // link.
+  void advance_to(double t);
+
+  // Completions recorded since the last call, in join (id) order.
+  struct Completion {
+    size_t id = 0;
+    double finish_s = 0.0;
+  };
+  std::vector<Completion> take_completions();
+
+  // Per-transfer accounting for tests and diagnostics.
+  struct TransferView {
+    double total_bits = 0.0;
+    double granted_bits = 0.0;  // delivered so far (== total once finished)
+    bool finished = false;
+    double finish_s = 0.0;  // valid when finished
+  };
+  TransferView view(size_t id) const;
+
+  // Trace capacity (bits) deliverable over [0, t): the link-wide budget the
+  // conservation tests compare grants against. Looping traces accumulate
+  // period capacity forever; finite traces cap at their duration.
+  double cumulative_bits(double t) const;
+
+ private:
+  // Remaining bits of an active transfer = credit - drained_bits_: the
+  // credit is fixed at join, the accumulator advances for everyone at once.
+  struct Credit {
+    double finish_credit = 0.0;
+    size_t id = 0;
+    bool operator<(const Credit& other) const {
+      if (finish_credit != other.finish_credit) return finish_credit < other.finish_credit;
+      return id < other.id;
+    }
+  };
+
+  struct Transfer {
+    double total_bits = 0.0;
+    double joined_drained_bits = 0.0;  // drained_bits_ at join
+    double finish_credit = 0.0;
+    bool finished = false;
+    double finish_s = 0.0;
+  };
+
+  const ThroughputTrace* trace_ = nullptr;
+  double now_s_ = 0.0;
+  // Per-transfer share of capacity drained since the link began (bits).
+  double drained_bits_ = 0.0;
+  std::set<Credit> credits_;         // active transfers, next finisher first
+  std::vector<Transfer> transfers_;  // all transfers ever, indexed by id
+  std::vector<Completion> completions_;
+};
+
+}  // namespace sensei::net

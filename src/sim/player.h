@@ -12,11 +12,14 @@
 // (exactly how SENSEI-Pensieve's "increment the buffer state" is described).
 //
 // Session timing is owned by the exact event-driven timeline engine
-// (sim/timeline.h), the default. The pre-timeline accounting loop is kept
-// frozen behind `PlayerConfig::engine = TimingEngine::kLegacy` purely as
-// the reference for the bit-identity equivalence gate
-// (tests/test_timeline.cpp); it retains the old bugs by design (RTT folded
-// into the goodput estimate, no outage detection, no trajectory).
+// (sim/timeline.h), the default — itself a thin run-to-completion drive of
+// the resumable sim::SessionEngine state machine (sim/session_engine.h),
+// which sim::Simulator interleaves for multi-session contention scenarios.
+// The pre-timeline accounting loop is kept frozen behind
+// `PlayerConfig::engine = TimingEngine::kLegacy` purely as the reference
+// for the bit-identity equivalence gate (tests/test_timeline.cpp); it
+// retains the old bugs by design (RTT folded into the goodput estimate, no
+// outage detection, no trajectory).
 #pragma once
 
 #include <memory>

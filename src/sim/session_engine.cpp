@@ -1,0 +1,312 @@
+#include "sim/session_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "net/shared_link.h"
+
+namespace sensei::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SessionEngine::SessionEngine(const PlayerConfig& config, const media::EncodedVideo& video,
+                             const net::ThroughputTrace& trace, AbrPolicy& policy,
+                             const std::vector<double>& weights, double start_s)
+    : video_(&video), policy_(&policy), cursor_(trace) {
+  init(config, weights, start_s);
+}
+
+SessionEngine::SessionEngine(const PlayerConfig& config, const media::EncodedVideo& video,
+                             net::SharedLink& link, AbrPolicy& policy,
+                             const std::vector<double>& weights, double start_s)
+    : video_(&video), policy_(&policy), link_(&link) {
+  init(config, weights, start_s);
+}
+
+void SessionEngine::init(const PlayerConfig& config, const std::vector<double>& weights,
+                         double start_s) {
+  config_ = config;
+  weights_ = weights.empty() ? nullptr : &weights;
+  if (video_->num_chunks() == 0) throw std::runtime_error("player: empty video");
+  if (weights_ != nullptr && weights_->size() != video_->num_chunks())
+    throw std::runtime_error("player: weight vector size mismatch");
+
+  policy_->begin_session(*video_);
+
+  tau_ = video_->chunk_duration_s();
+  n_ = video_->num_chunks();
+  levels_ = video_->ladder().level_count();
+
+  timeline_ = std::make_shared<SessionTimeline>(tau_, config_.rtt_s);
+  timeline_->reserve(n_);
+  history_.reserve(config_.throughput_history_len + 1);
+  records_.reserve(n_);
+
+  // One observation reused across the session: its vectors reach their
+  // high-water capacity during the first chunks and the per-chunk refills
+  // never touch the heap again (the monolithic loop's discipline).
+  obs_.num_chunks = n_;
+  obs_.video = video_;
+  obs_.timeline = timeline_.get();
+  obs_.throughput_history_kbps.reserve(config_.throughput_history_len + 1);
+  obs_.future_weights.reserve(config_.weight_horizon);
+
+  start_abs_s_ = start_s;
+  state_ = State::kRequesting;
+  next_event_abs_s_ = start_s;
+}
+
+void SessionEngine::advance_to(double t) {
+  while (!done() && next_event_abs_s_ <= t) step();
+}
+
+void SessionEngine::step() {
+  switch (state_) {
+    case State::kRequesting:
+      issue_request();
+      break;
+    case State::kRtt:
+      begin_transfer();
+      break;
+    case State::kTransferring:
+      // Dedicated only: the arrival time was integrated at request time. A
+      // shared-link transfer's finish belongs to the link — its driver must
+      // call complete_transfer/fail_transfer, never step().
+      if (link_ != nullptr)
+        throw std::logic_error("session engine: a shared-link transfer finishes via the link");
+      finish_chunk();
+      break;
+    case State::kArrived:
+      // The buffer-cap idle (if any) has been served: issue the next
+      // request at this very instant.
+      state_ = State::kRequesting;
+      break;
+    case State::kDone:
+    case State::kOutage:
+      break;
+  }
+}
+
+void SessionEngine::issue_request() {
+  const size_t i = next_chunk_;
+  obs_.next_chunk = i;
+  obs_.buffer_s = buffer_s_;
+  obs_.last_level = last_level_;
+  obs_.last_throughput_kbps = last_throughput_;
+  obs_.last_download_time_s = last_download_time_;
+  obs_.throughput_history_kbps = history_;
+  if (weights_ != nullptr) {
+    size_t end = std::min(n_, i + config_.weight_horizon);
+    obs_.future_weights.assign(weights_->begin() + static_cast<long>(i),
+                               weights_->begin() + static_cast<long>(end));
+  }
+  obs_.wall_clock_s = wall_clock_s_;
+  obs_.playhead_s = playhead_s_;
+  obs_.total_stall_s = total_stall_s_;
+  obs_.last_rtt_s = i > 0 ? config_.rtt_s : 0.0;
+
+  AbrDecision decision = policy_->decide(obs_);
+  if (decision.level >= levels_) decision.level = levels_ - 1;
+  scheduled_ = std::max(0.0, decision.scheduled_rebuffer_s);
+
+  rep_ = &video_->rep(i, decision.level);
+  // RTT first (dead wall clock, no trace capacity), then the transfer.
+  transfer_start_abs_s_ = start_abs_s_ + (wall_clock_s_ + config_.rtt_s);
+
+  if (link_ == nullptr) {
+    // Dedicated link: integrate the whole transfer now, exactly as the
+    // monolithic loop did at this point.
+    net::TransferResult transfer = cursor_.advance(rep_->size_bytes, transfer_start_abs_s_);
+    if (!transfer.completed) {
+      // The link died: this chunk can never arrive. Truncate the session
+      // and surface the outage instead of faking a completed download.
+      mark_outage();
+      return;
+    }
+    transfer_elapsed_s_ = transfer.elapsed_s;
+    dl_s_ = config_.rtt_s + transfer.elapsed_s;
+  }
+
+  rec_ = ChunkRecord();
+  rec_.index = i;
+  rec_.level = decision.level;
+  rec_.bitrate_kbps = rep_->bitrate_kbps;
+  rec_.size_bytes = rep_->size_bytes;
+  rec_.visual_quality = rep_->visual_quality;
+  rec_.download_start_s = wall_clock_s_;
+
+  traj_ = ChunkTrajectory();
+  traj_.chunk = i;
+  traj_.level = decision.level;
+  traj_.request_wall_s = wall_clock_s_;
+  traj_.rtt_s = config_.rtt_s;
+  traj_.buffer_before_s = buffer_s_;
+  traj_.playhead_before_s = playhead_s_;
+
+  state_ = State::kRtt;
+  next_event_abs_s_ = transfer_start_abs_s_;
+}
+
+void SessionEngine::begin_transfer() {
+  if (link_ != nullptr) {
+    transfer_id_ = link_->begin(rep_->size_bytes, transfer_start_abs_s_);
+    next_event_abs_s_ = kInf;  // the link owns the completion event
+  } else {
+    next_event_abs_s_ = start_abs_s_ + (wall_clock_s_ + dl_s_);
+  }
+  state_ = State::kTransferring;
+}
+
+void SessionEngine::complete_transfer(double finish_abs_s) {
+  if (state_ != State::kTransferring || link_ == nullptr)
+    throw std::logic_error("session engine: no shared-link transfer in flight");
+  transfer_elapsed_s_ = std::max(0.0, finish_abs_s - transfer_start_abs_s_);
+  dl_s_ = config_.rtt_s + transfer_elapsed_s_;
+  finish_chunk();
+}
+
+void SessionEngine::fail_transfer() {
+  if (state_ != State::kTransferring || link_ == nullptr)
+    throw std::logic_error("session engine: no shared-link transfer in flight");
+  mark_outage();
+}
+
+// The arrival accounting: statement for statement the tail of the
+// monolithic loop body, so however the session is sliced the emitted
+// numbers are bit-identical to run-to-completion streaming.
+void SessionEngine::finish_chunk() {
+  const size_t i = next_chunk_;
+  const double dl = dl_s_;
+  rec_.download_time_s = dl;
+  traj_.transfer_s = transfer_elapsed_s_;
+
+  wall_clock_s_ += dl;
+  traj_.arrival_wall_s = wall_clock_s_;
+
+  // Outstanding scheduled-pause debt (from earlier decisions) freezes
+  // playback across this download window before anything else can play.
+  double pause_served_in_window = std::min(pause_debt_s_, dl);
+  pause_debt_s_ -= pause_served_in_window;
+
+  double stall = 0.0;
+  if (i == 0) {
+    // Startup: the first chunk's download (and any scheduled pre-roll
+    // wait) is join latency, not a stall.
+    startup_delay_s_ = dl + scheduled_;
+    buffer_s_ = tau_;
+  } else {
+    // Buffer drains in real time across the whole download (RTT wait
+    // included — playback does not know the request is still in flight).
+    if (dl > buffer_s_) {
+      stall = dl - buffer_s_;
+      buffer_s_ = 0.0;
+    } else {
+      buffer_s_ -= dl;
+    }
+    traj_.stall_s = stall;
+    if (stall > 0.0) traj_.stall_start_wall_s = traj_.arrival_wall_s - stall;
+    // Scheduled pause: playback halts, downloads continue — the buffer is
+    // credited with the pause and the pause is charged as a stall.
+    if (scheduled_ > 0.0) {
+      buffer_s_ += scheduled_;
+      stall += scheduled_;
+      traj_.scheduled_pause_s = scheduled_;
+      pause_debt_s_ += scheduled_;
+    }
+    buffer_s_ += tau_;
+  }
+  rec_.scheduled_rebuffer_s = (i == 0) ? 0.0 : scheduled_;
+  rec_.rebuffer_s = stall;
+  total_stall_s_ += stall;
+
+  // Buffer cap: the client idles (wall clock advances, buffer drains by the
+  // same amount) until there is room for the next chunk.
+  if (buffer_s_ > config_.max_buffer_s) {
+    double idle = buffer_s_ - config_.max_buffer_s;
+    wall_clock_s_ += idle;
+    buffer_s_ = config_.max_buffer_s;
+    traj_.idle_s = idle;
+  }
+  rec_.buffer_after_s = buffer_s_;
+  traj_.buffer_after_s = buffer_s_;
+
+  // Idle time also serves outstanding pause debt (the viewer is frozen
+  // either way; whatever remains frozen keeps the buffer from draining).
+  double idle_play = traj_.idle_s;
+  if (pause_debt_s_ > 0.0 && traj_.idle_s > 0.0) {
+    double served_in_idle = std::min(pause_debt_s_, traj_.idle_s);
+    pause_debt_s_ -= served_in_idle;
+    idle_play = traj_.idle_s - served_in_idle;
+  }
+  traj_.pause_debt_after_s = pause_debt_s_;
+
+  // Playhead integration: playback runs across the download window except
+  // while stalled (buffer empty) or serving scheduled-pause debt, and
+  // across whatever idle time is not pause-frozen.
+  double play_time =
+      i == 0 ? 0.0 : std::max(0.0, dl - traj_.stall_s - pause_served_in_window);
+  playhead_s_ += play_time + idle_play;
+  traj_.playhead_after_s = playhead_s_;
+
+  // Goodput over the transfer alone — the RTT consumed no link capacity,
+  // so folding it in would bias every predictor low on small chunks.
+  last_throughput_ = transfer_elapsed_s_ > 0.0
+                         ? rep_->size_bytes * 8.0 / 1000.0 / transfer_elapsed_s_
+                         : 0.0;
+  traj_.goodput_kbps = last_throughput_;
+  last_download_time_ = dl;
+  last_level_ = rec_.level;
+  history_.push_back(last_throughput_);
+  if (history_.size() > config_.throughput_history_len) history_.erase(history_.begin());
+
+  timeline_->push_chunk(traj_);
+  records_.push_back(rec_);
+
+  ++next_chunk_;
+  if (next_chunk_ == n_) {
+    state_ = State::kDone;
+    next_event_abs_s_ = kInf;
+    finalize();
+  } else {
+    state_ = State::kArrived;
+    next_event_abs_s_ = start_abs_s_ + wall_clock_s_;
+  }
+}
+
+void SessionEngine::mark_outage() {
+  timeline_->mark_outage(next_chunk_, wall_clock_s_);
+  state_ = State::kOutage;
+  next_event_abs_s_ = kInf;
+  finalize();
+}
+
+void SessionEngine::finalize() {
+  timeline_->set_startup_delay(startup_delay_s_);
+  const std::string& trace_name =
+      link_ != nullptr ? link_->trace().name() : cursor_.trace()->name();
+  result_ = SessionResult(video_->source().name(), trace_name, tau_, std::move(records_),
+                          startup_delay_s_);
+  if (state_ == State::kOutage) result_.set_outcome(SessionOutcome::kOutage);
+  result_.set_timeline(timeline_);
+}
+
+SessionResult SessionEngine::run() {
+  if (link_ != nullptr)
+    throw std::logic_error("session engine: a shared-link session needs a driver");
+  while (!done()) advance_to(next_event_abs_s_);
+  return take_result();
+}
+
+SessionResult SessionEngine::take_result() {
+  if (!done()) throw std::logic_error("session engine: session still in flight");
+  // A second take would silently hand back a moved-from, empty session that
+  // downstream aggregation treats as a valid zero-chunk run.
+  if (result_taken_) throw std::logic_error("session engine: result already taken");
+  result_taken_ = true;
+  return std::move(result_);
+}
+
+}  // namespace sensei::sim

@@ -1,0 +1,169 @@
+// Resumable streaming-session engine.
+//
+// SessionEngine is the event-driven session timeline of sim/timeline.h
+// decomposed into an explicit, interruptible state machine so a central
+// scheduler (sim::Simulator) can interleave many concurrent sessions over a
+// shared clock. One engine owns everything the monolithic loop owned — the
+// ABR observation buffers, the throughput history ring, the trace cursor,
+// the in-flight chunk's record and trajectory — and exposes the session as
+// a sequence of timed transitions:
+//
+//   kRequesting --(decide)--> kRtt --(request dead time)--> kTransferring
+//        ^                                                      |
+//        |                                              (last byte lands)
+//        +------- kArrived (accounting + buffer-cap idle) <-----+
+//                     |
+//                     +--> kDone (all chunks) / kOutage (link died)
+//
+// Driving contract: next_event_time() is the absolute simulation time of
+// the next self-driven transition; advance_to(t) performs every transition
+// scheduled at or before t. On a dedicated link the engine integrates its
+// own transfers (a TraceCursor over the trace index), so every state has a
+// finite next event. On a net::SharedLink the transfer's finish depends on
+// who else is on the link: the engine reports +infinity while
+// kTransferring and the driver delivers the link's verdict through
+// complete_transfer() / fail_transfer().
+//
+// Equivalence is the load-bearing property: however advance_to slices the
+// session — one call to run(), or thousands of interleaved event-step calls
+// from a Simulator — the emitted SessionResult and SessionTimeline are
+// bit-identical to the monolithic loop this replaces, because each state
+// executes the exact statements (same expressions, same order) of the
+// original loop body. Player::stream and stream_timeline are now thin
+// run-to-completion wrappers over this class; tests/test_simulator.cpp
+// gates Simulator-driven sessions against them, and the legacy-vs-timeline
+// gate of tests/test_timeline.cpp pins the numbers themselves.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "media/encoder.h"
+#include "net/trace.h"
+#include "sim/player.h"
+#include "sim/session.h"
+#include "sim/timeline.h"
+
+namespace sensei::net {
+class SharedLink;
+}
+
+namespace sensei::sim {
+
+class SessionEngine {
+ public:
+  enum class State {
+    kRequesting,    // next chunk's request not yet issued
+    kRtt,           // request in flight: dead time, no trace capacity
+    kTransferring,  // bytes on the wire
+    kArrived,       // chunk landed; serving any buffer-cap idle
+    kDone,          // every chunk downloaded
+    kOutage,        // the link died mid-session; result truncated
+  };
+
+  // Dedicated link: the engine integrates `trace` itself. `video`, `trace`,
+  // `policy`, and `weights` must outlive the engine (the same lifetimes
+  // Player::stream requires of its arguments for the duration of the call).
+  // `start_s` places the session's first request on the absolute simulation
+  // clock; the emitted timeline stays session-relative, exactly as
+  // Player::stream emits it.
+  SessionEngine(const PlayerConfig& config, const media::EncodedVideo& video,
+                const net::ThroughputTrace& trace, AbrPolicy& policy,
+                const std::vector<double>& weights, double start_s = 0.0);
+
+  // Shared link: transfers contend on `link`; the driver owns transfer
+  // completion (complete_transfer / fail_transfer).
+  SessionEngine(const PlayerConfig& config, const media::EncodedVideo& video,
+                net::SharedLink& link, AbrPolicy& policy, const std::vector<double>& weights,
+                double start_s = 0.0);
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kDone || state_ == State::kOutage; }
+  double start_s() const { return start_abs_s_; }
+  size_t next_chunk() const { return next_chunk_; }
+
+  // Absolute time of the next self-driven transition; +infinity when done,
+  // or while a shared-link transfer is in flight (the link owns that event).
+  double next_event_time() const { return next_event_abs_s_; }
+
+  // Performs every transition scheduled at or before absolute time `t`.
+  void advance_to(double t);
+
+  // Performs exactly one transition (the one at next_event_time()) — the
+  // single-step drive, for callers that want to observe every state a
+  // session passes through, including the transient ones advance_to chains
+  // across (a zero-idle kArrived, a zero-RTT kRtt).
+  void step();
+
+  // --- shared-link driver interface ---------------------------------------
+  // Valid while kTransferring on a shared link: the id link.begin returned.
+  size_t transfer_id() const { return transfer_id_; }
+  // The link delivered the last byte at absolute time `finish_abs_s`:
+  // performs the arrival accounting and re-enters the request loop.
+  void complete_transfer(double finish_abs_s);
+  // The link can never deliver the in-flight transfer: truncates the
+  // session as an outage, exactly as a dedicated dead link does.
+  void fail_transfer();
+
+  // Drives the session to completion and returns the result. Requires a
+  // dedicated link (a shared-link engine waits on its driver).
+  SessionResult run();
+
+  // Valid once done(), once: the finished session, identical to what
+  // Player::stream would have returned. Throws on a second take (the
+  // result moves out) and while the session is still in flight.
+  SessionResult take_result();
+
+ private:
+  void init(const PlayerConfig& config, const std::vector<double>& weights, double start_s);
+  void issue_request();    // kRequesting: decide + integrate (dedicated)
+  void begin_transfer();   // kRtt expiry: first byte may move
+  void finish_chunk();     // arrival accounting (the monolithic loop's tail)
+  void mark_outage();      // truncate at the in-flight chunk
+  void finalize();         // build the SessionResult
+
+  PlayerConfig config_;
+  const media::EncodedVideo* video_ = nullptr;
+  AbrPolicy* policy_ = nullptr;
+  const std::vector<double>* weights_ = nullptr;  // nullable (weight-unaware)
+  net::TraceCursor cursor_;                       // dedicated link
+  net::SharedLink* link_ = nullptr;               // shared link
+
+  State state_ = State::kRequesting;
+  double start_abs_s_ = 0.0;      // absolute time of the session's epoch
+  double next_event_abs_s_ = 0.0;
+
+  // Session accumulators — field for field the monolithic loop's locals.
+  double tau_ = 0.0;
+  size_t n_ = 0;
+  size_t levels_ = 0;
+  double wall_clock_s_ = 0.0;  // session-relative, like the emitted timeline
+  double buffer_s_ = 0.0;
+  double playhead_s_ = 0.0;
+  double pause_debt_s_ = 0.0;
+  double total_stall_s_ = 0.0;
+  double startup_delay_s_ = 0.0;
+  size_t last_level_ = 0;
+  double last_throughput_ = 0.0;
+  double last_download_time_ = 0.0;
+  std::vector<double> history_;
+  std::vector<ChunkRecord> records_;
+  std::shared_ptr<SessionTimeline> timeline_;
+  AbrObservation obs_;
+  size_t next_chunk_ = 0;
+
+  // In-flight chunk state, populated at kRequesting and consumed at arrival.
+  const media::EncodedChunk* rep_ = nullptr;
+  double scheduled_ = 0.0;
+  double dl_s_ = 0.0;                 // rtt + transfer wall time
+  double transfer_elapsed_s_ = 0.0;   // wire time alone
+  double transfer_start_abs_s_ = 0.0;
+  size_t transfer_id_ = 0;
+  ChunkRecord rec_;
+  ChunkTrajectory traj_;
+
+  SessionResult result_;
+  bool result_taken_ = false;
+};
+
+}  // namespace sensei::sim

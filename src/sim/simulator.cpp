@@ -1,0 +1,187 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "net/shared_link.h"
+#include "sim/session_engine.h"
+
+namespace sensei::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* to_string(LinkMode mode) {
+  switch (mode) {
+    case LinkMode::kDedicated: return "dedicated";
+    case LinkMode::kShared: return "shared";
+  }
+  return "?";
+}
+
+Simulator::Simulator(PlayerConfig config) : config_(config) {
+  if (config_.max_buffer_s <= 0.0)
+    throw std::runtime_error("simulator: max buffer must be > 0");
+}
+
+std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& specs,
+                                               const net::ThroughputTrace& trace,
+                                               LinkMode mode) const {
+  const std::vector<double> no_weights;
+  std::optional<net::SharedLink> link;
+  if (mode == LinkMode::kShared) link.emplace(trace);
+
+  std::vector<std::unique_ptr<SessionEngine>> engines;
+  engines.reserve(specs.size());
+  for (const SessionSpec& spec : specs) {
+    if (spec.video == nullptr || spec.policy == nullptr)
+      throw std::runtime_error("simulator: session spec needs a video and a policy");
+    // A negative start would be silently clamped to 0 by the trace
+    // integrator (misreporting contention), and a NaN start would strand
+    // the engine outside the event heap: both fail loudly instead.
+    if (!std::isfinite(spec.start_s) || spec.start_s < 0.0)
+      throw std::runtime_error("simulator: session start must be finite and >= 0");
+    const std::vector<double>& w = spec.weights != nullptr ? *spec.weights : no_weights;
+    if (link) {
+      engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, *link,
+                                                        *spec.policy, w, spec.start_s));
+    } else {
+      engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, trace,
+                                                        *spec.policy, w, spec.start_s));
+    }
+  }
+
+  // Lazy min-heap of (transition time, session index): stale entries are
+  // skipped on pop, every state change re-pushes the engine's current time.
+  // Ties pop in session-index order — the deterministic tie-break the
+  // thread-count/diff gates rely on.
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> events;
+  auto push_engine = [&](size_t idx) {
+    double t = engines[idx]->next_event_time();
+    if (std::isfinite(t)) events.push({t, idx});
+  };
+  for (size_t i = 0; i < engines.size(); ++i) push_engine(i);
+  size_t remaining = engines.size();
+
+  // transfer id -> session index, recorded as transfers join the link.
+  std::vector<size_t> transfer_owner;
+  auto record_join = [&](size_t idx) {
+    if (!link || engines[idx]->state() != SessionEngine::State::kTransferring) return;
+    size_t id = engines[idx]->transfer_id();
+    if (transfer_owner.size() <= id) transfer_owner.resize(id + 1, engines.size());
+    transfer_owner[id] = idx;
+  };
+
+  double prev_t = -kInf;
+  bool prev_was_noop = false;
+  while (remaining > 0) {
+    while (!events.empty()) {
+      const Entry& top = events.top();
+      if (engines[top.second]->done() || engines[top.second]->next_event_time() != top.first) {
+        events.pop();  // stale: the engine moved past this entry
+      } else {
+        break;
+      }
+    }
+    double t_engines = events.empty() ? kInf : events.top().first;
+    double t_link = link ? link->next_completion_s() : kInf;
+    double t = std::min(t_engines, t_link);
+
+    if (t == kInf) {
+      // No event can ever fire again: every unfinished session is waiting on
+      // a transfer the shared link can never deliver (dead link). Surface
+      // the outage exactly as a dedicated dead link does at request time.
+      for (auto& engine : engines) {
+        if (!engine->done()) {
+          engine->fail_transfer();
+          --remaining;
+        }
+      }
+      break;
+    }
+
+    size_t processed = 0;
+    if (link) {
+      // Completions land before same-instant engine events: the leaver
+      // frees its share before anyone joining at t sees the link.
+      link->advance_to(t);
+      for (const net::SharedLink::Completion& completion : link->take_completions()) {
+        ++processed;
+        size_t idx = transfer_owner[completion.id];
+        engines[idx]->complete_transfer(completion.finish_s);
+        if (engines[idx]->done()) {
+          --remaining;
+        } else {
+          push_engine(idx);
+        }
+      }
+    }
+
+    // Every engine transition scheduled at t, in session-index order. A
+    // chain may end in a join (kRtt expiring at t with rtt 0), which is
+    // legal because the link already sits at t.
+    while (!events.empty() && events.top().first <= t) {
+      size_t idx = events.top().second;
+      events.pop();
+      if (engines[idx]->done() || engines[idx]->next_event_time() > t) continue;
+      engines[idx]->advance_to(t);
+      ++processed;
+      if (engines[idx]->done()) {
+        --remaining;
+      } else {
+        push_engine(idx);
+        record_join(idx);
+      }
+    }
+
+    // Livelock sentinel. A no-op iteration is legal once (the link predicted
+    // a completion whose drain fell an epsilon short), but time must then
+    // move; two stuck iterations at the same instant can never resolve, so
+    // fail loudly instead of spinning.
+    if (processed == 0 && prev_was_noop && t == prev_t) {
+      throw std::runtime_error("simulator: event loop stalled (no progress at t=" +
+                               std::to_string(t) + ")");
+    }
+    prev_was_noop = processed == 0;
+    prev_t = t;
+  }
+
+  std::vector<MultiSessionResult> results;
+  results.reserve(engines.size());
+  for (size_t i = 0; i < engines.size(); ++i) {
+    results.push_back({specs[i].start_s, engines[i]->take_result()});
+  }
+  return results;
+}
+
+std::vector<SessionSpec> staggered_specs(const std::vector<const media::EncodedVideo*>& videos,
+                                         const std::vector<AbrPolicy*>& policies,
+                                         const std::vector<const std::vector<double>*>& weights,
+                                         size_t num_sessions, double stagger_s) {
+  if (videos.empty()) throw std::runtime_error("simulator: no videos");
+  if (policies.size() != num_sessions)
+    throw std::runtime_error("simulator: one policy instance per session is required");
+  // Weights are per-video sensitivity vectors: they must pair 1:1 with the
+  // video pool and cycle on the same index, or a session would stream one
+  // video under another's weights (silently, whenever chunk counts match).
+  if (!weights.empty() && weights.size() != videos.size())
+    throw std::runtime_error("simulator: weights pool must pair 1:1 with the video pool");
+  std::vector<SessionSpec> specs(num_sessions);
+  for (size_t k = 0; k < num_sessions; ++k) {
+    size_t v = k % videos.size();
+    specs[k].video = videos[v];
+    specs[k].policy = policies[k];
+    specs[k].weights = weights.empty() ? nullptr : weights[v];
+    specs[k].start_s = stagger_s * static_cast<double>(k);
+  }
+  return specs;
+}
+
+}  // namespace sensei::sim

@@ -1,0 +1,87 @@
+// Multi-session simulator: one event loop interleaving N SessionEngines.
+//
+// This is the scenario family the single-session Player cannot express:
+// many concurrent viewers, arriving staggered over a shared clock, either
+// each on a private copy of the network (kDedicated — the control case and
+// the Player-equivalence gate) or all contending for one bottleneck
+// (kShared — a net::SharedLink splitting each instant's trace capacity
+// equally across active downloads).
+//
+// The loop is a textbook discrete-event scheduler over exact times, not
+// fixed ticks: a lazy min-heap of engine transition times plus the shared
+// link's next-completion estimate. Every iteration advances the link to
+// the earliest pending instant, delivers completions (in join order), then
+// lets every engine with a transition at that instant run its chain —
+// deterministic by construction: ties break on session index, completions
+// land before same-instant joins (the leaver frees its share first, which
+// is what makes "last leaver gets the full link" exact at boundaries), and
+// no step depends on heap internals.
+//
+// Equivalence gate (tests/test_simulator.cpp): a single session driven
+// through this loop on a dedicated link emits a SessionResult and
+// SessionTimeline bit-identical to Player::stream — across policies,
+// traces (looping, finite, outage) and ExperimentRunner thread counts —
+// because SessionEngine executes the same statements whether it is sliced
+// by this scheduler or driven to completion in one call.
+#pragma once
+
+#include <vector>
+
+#include "media/encoder.h"
+#include "net/trace.h"
+#include "sim/player.h"
+#include "sim/session.h"
+
+namespace sensei::sim {
+
+// How sessions see the network.
+enum class LinkMode {
+  kDedicated,  // each session integrates the trace privately (no contention)
+  kShared,     // all sessions split one net::SharedLink's capacity
+};
+
+const char* to_string(LinkMode mode);
+
+// One viewer: a video, a per-session policy instance (never shared across
+// sessions — policies carry mutable state), optional sensitivity weights,
+// and the absolute arrival time of the first request. All pointers must
+// outlive Simulator::run.
+struct SessionSpec {
+  const media::EncodedVideo* video = nullptr;
+  AbrPolicy* policy = nullptr;
+  const std::vector<double>* weights = nullptr;  // nullable
+  double start_s = 0.0;
+};
+
+struct MultiSessionResult {
+  double start_s = 0.0;   // when the session joined the simulation
+  SessionResult session;  // timestamps session-relative, as Player emits them
+};
+
+class Simulator {
+ public:
+  explicit Simulator(PlayerConfig config = PlayerConfig());
+
+  const PlayerConfig& config() const { return config_; }
+
+  // Runs every session to completion (or outage) and returns results in
+  // spec order. Deterministic: same specs + trace -> same results,
+  // regardless of how sessions interleave in wall-clock terms.
+  std::vector<MultiSessionResult> run(const std::vector<SessionSpec>& specs,
+                                      const net::ThroughputTrace& trace,
+                                      LinkMode mode = LinkMode::kShared) const;
+
+ private:
+  PlayerConfig config_;
+};
+
+// Convenience: N staggered sessions (session k arrives at k * stagger_s),
+// cycling videos — each with its paired weights vector, when `weights` is
+// non-empty (then it must be videos.size() long) — over the supplied pools;
+// `policies` carries one instance per session.
+std::vector<SessionSpec> staggered_specs(const std::vector<const media::EncodedVideo*>& videos,
+                                         const std::vector<AbrPolicy*>& policies,
+                                         const std::vector<const std::vector<double>*>& weights,
+                                         size_t num_sessions, double stagger_s);
+
+}  // namespace sensei::sim

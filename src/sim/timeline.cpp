@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "sim/player.h"
+#include "sim/session_engine.h"
 
 namespace sensei::sim {
 
@@ -169,197 +170,15 @@ bool SessionTimeline::check_invariants(std::string* why) const {
   return true;
 }
 
+// The monolithic accounting loop this function used to carry lives on as
+// sim::SessionEngine, an interruptible state machine whose states execute
+// the same statements in the same order — run-to-completion streaming is
+// now just the degenerate drive of that machine.
 SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVideo& video,
                               const net::ThroughputTrace& trace, AbrPolicy& policy,
                               const std::vector<double>& weights) {
-  if (video.num_chunks() == 0) throw std::runtime_error("player: empty video");
-  if (!weights.empty() && weights.size() != video.num_chunks())
-    throw std::runtime_error("player: weight vector size mismatch");
-
-  policy.begin_session(video);
-
-  const double tau = video.chunk_duration_s();
-  const size_t n = video.num_chunks();
-  const size_t levels = video.ladder().level_count();
-
-  auto timeline = std::make_shared<SessionTimeline>(tau, config.rtt_s);
-  timeline->reserve(n);
-  // Cursor over the trace's cumulative-capacity index: the session's wall
-  // clock advances monotonically, so the finishing-interval search warm-
-  // starts from the previous chunk's position.
-  net::TraceCursor link(trace);
-
-  double wall_clock_s = 0.0;
-  double buffer_s = 0.0;
-  double playhead_s = 0.0;
-  double pause_debt_s = 0.0;  // scheduled pause seconds not yet served
-  double total_stall_s = 0.0;
-  double startup_delay_s = 0.0;
-  size_t last_level = 0;
-  double last_throughput = 0.0;
-  double last_download_time = 0.0;
-  std::vector<double> history;
-  history.reserve(config.throughput_history_len + 1);
-
-  std::vector<ChunkRecord> records;
-  records.reserve(n);
-  bool outage = false;
-
-  // One observation reused across the loop: its vectors reach their
-  // high-water capacity during the first chunks and the per-chunk refills
-  // below never touch the heap again.
-  AbrObservation obs;
-  obs.num_chunks = n;
-  obs.video = &video;
-  obs.timeline = timeline.get();
-  obs.throughput_history_kbps.reserve(config.throughput_history_len + 1);
-  obs.future_weights.reserve(config.weight_horizon);
-
-  for (size_t i = 0; i < n; ++i) {
-    obs.next_chunk = i;
-    obs.buffer_s = buffer_s;
-    obs.last_level = last_level;
-    obs.last_throughput_kbps = last_throughput;
-    obs.last_download_time_s = last_download_time;
-    obs.throughput_history_kbps = history;
-    if (!weights.empty()) {
-      size_t end = std::min(n, i + config.weight_horizon);
-      obs.future_weights.assign(weights.begin() + static_cast<long>(i),
-                                weights.begin() + static_cast<long>(end));
-    }
-    obs.wall_clock_s = wall_clock_s;
-    obs.playhead_s = playhead_s;
-    obs.total_stall_s = total_stall_s;
-    obs.last_rtt_s = i > 0 ? config.rtt_s : 0.0;
-
-    AbrDecision decision = policy.decide(obs);
-    if (decision.level >= levels) decision.level = levels - 1;
-    double scheduled = std::max(0.0, decision.scheduled_rebuffer_s);
-
-    const auto& rep = video.rep(i, decision.level);
-
-    // RTT first (dead wall clock, no trace capacity), then the transfer.
-    net::TransferResult transfer = link.advance(rep.size_bytes, wall_clock_s + config.rtt_s);
-    if (!transfer.completed) {
-      // The link died: this chunk can never arrive. Truncate the session
-      // and surface the outage instead of faking a completed download.
-      timeline->mark_outage(i, wall_clock_s);
-      outage = true;
-      break;
-    }
-    double dl = config.rtt_s + transfer.elapsed_s;
-
-    ChunkRecord rec;
-    rec.index = i;
-    rec.level = decision.level;
-    rec.bitrate_kbps = rep.bitrate_kbps;
-    rec.size_bytes = rep.size_bytes;
-    rec.visual_quality = rep.visual_quality;
-    rec.download_start_s = wall_clock_s;
-    rec.download_time_s = dl;
-
-    ChunkTrajectory traj;
-    traj.chunk = i;
-    traj.level = decision.level;
-    traj.request_wall_s = wall_clock_s;
-    traj.rtt_s = config.rtt_s;
-    traj.transfer_s = transfer.elapsed_s;
-    traj.buffer_before_s = buffer_s;
-    traj.playhead_before_s = playhead_s;
-
-    wall_clock_s += dl;
-    traj.arrival_wall_s = wall_clock_s;
-
-    // Outstanding scheduled-pause debt (from earlier decisions) freezes
-    // playback across this download window before anything else can play.
-    double pause_served_in_window = std::min(pause_debt_s, dl);
-    pause_debt_s -= pause_served_in_window;
-
-    double stall = 0.0;
-    if (i == 0) {
-      // Startup: the first chunk's download (and any scheduled pre-roll
-      // wait) is join latency, not a stall.
-      startup_delay_s = dl + scheduled;
-      buffer_s = tau;
-    } else {
-      // Buffer drains in real time across the whole download (RTT wait
-      // included — playback does not know the request is still in flight).
-      if (dl > buffer_s) {
-        stall = dl - buffer_s;
-        buffer_s = 0.0;
-      } else {
-        buffer_s -= dl;
-      }
-      traj.stall_s = stall;
-      if (stall > 0.0) traj.stall_start_wall_s = traj.arrival_wall_s - stall;
-      // Scheduled pause: playback halts, downloads continue — the buffer is
-      // credited with the pause and the pause is charged as a stall.
-      if (scheduled > 0.0) {
-        buffer_s += scheduled;
-        stall += scheduled;
-        traj.scheduled_pause_s = scheduled;
-        pause_debt_s += scheduled;
-      }
-      buffer_s += tau;
-    }
-    rec.scheduled_rebuffer_s = (i == 0) ? 0.0 : scheduled;
-    rec.rebuffer_s = stall;
-    total_stall_s += stall;
-
-    // Buffer cap: the client idles (wall clock advances, buffer drains by the
-    // same amount) until there is room for the next chunk.
-    if (buffer_s > config.max_buffer_s) {
-      double idle = buffer_s - config.max_buffer_s;
-      wall_clock_s += idle;
-      buffer_s = config.max_buffer_s;
-      traj.idle_s = idle;
-    }
-    rec.buffer_after_s = buffer_s;
-    traj.buffer_after_s = buffer_s;
-
-    // Idle time also serves outstanding pause debt (the viewer is frozen
-    // either way; whatever remains frozen keeps the buffer from draining).
-    double idle_play = traj.idle_s;
-    if (pause_debt_s > 0.0 && traj.idle_s > 0.0) {
-      double served_in_idle = std::min(pause_debt_s, traj.idle_s);
-      pause_debt_s -= served_in_idle;
-      idle_play = traj.idle_s - served_in_idle;
-    }
-    traj.pause_debt_after_s = pause_debt_s;
-
-    // Playhead integration: playback runs across the download window except
-    // while stalled (buffer empty) or serving scheduled-pause debt, and
-    // across whatever idle time is not pause-frozen. The credited buffer
-    // always holds stored media + outstanding debt, so this difference is
-    // exactly non-negative; in pause-free sessions it reduces to the
-    // conservation identity playhead == media arrived - buffer.
-    double play_time =
-        i == 0 ? 0.0 : std::max(0.0, dl - traj.stall_s - pause_served_in_window);
-    playhead_s += play_time + idle_play;
-    traj.playhead_after_s = playhead_s;
-
-    // Goodput over the transfer alone — the RTT consumed no link capacity,
-    // so folding it in would bias every predictor low on small chunks.
-    last_throughput =
-        transfer.elapsed_s > 0.0 ? rep.size_bytes * 8.0 / 1000.0 / transfer.elapsed_s : 0.0;
-    traj.goodput_kbps = last_throughput;
-    last_download_time = dl;
-    last_level = decision.level;
-    history.push_back(last_throughput);
-    if (history.size() > config.throughput_history_len)
-      history.erase(history.begin());
-
-    timeline->push_chunk(traj);
-    records.push_back(rec);
-  }
-
-  timeline->set_startup_delay(startup_delay_s);
-
-  SessionResult result(video.source().name(), trace.name(), tau, std::move(records),
-                       startup_delay_s);
-  if (outage) result.set_outcome(SessionOutcome::kOutage);
-  result.set_timeline(std::move(timeline));
-  return result;
+  SessionEngine engine(config, video, trace, policy, weights);
+  return engine.run();
 }
 
 }  // namespace sensei::sim

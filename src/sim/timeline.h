@@ -165,7 +165,9 @@ class SessionTimeline {
 // producing the SessionResult (with the timeline attached — see
 // SessionResult::timeline()) and the exact trajectory. On an outage the
 // session truncates at the doomed chunk and the result/timeline are marked
-// SessionOutcome::kOutage.
+// SessionOutcome::kOutage. Implemented by driving a sim::SessionEngine
+// (sim/session_engine.h) to completion — the resumable state machine a
+// sim::Simulator interleaves for multi-session runs.
 SessionResult stream_timeline(const PlayerConfig& config, const media::EncodedVideo& video,
                               const net::ThroughputTrace& trace, AbrPolicy& policy,
                               const std::vector<double>& weights);

@@ -1,0 +1,528 @@
+// Gates for the multi-session simulator stack: net::SharedLink capacity
+// accounting, the sim::Simulator event loop, and — the load-bearing one —
+// the Simulator-vs-Player bit-identity gate: a single session driven
+// through the event loop on a dedicated link must reproduce Player::stream
+// exactly (every ChunkRecord field, every ChunkTrajectory field, outcome,
+// startup delay) across policies, looping/finite/outage traces, and
+// ExperimentRunner thread counts. That is what licenses reading
+// multi-session results as "the same player, under contention".
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "abr/bba.h"
+#include "abr/fugu.h"
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "net/shared_link.h"
+#include "net/trace_gen.h"
+#include "sim/player.h"
+#include "sim/session_engine.h"
+#include "util/rng.h"
+
+namespace sensei::sim {
+namespace {
+
+class ScriptedPolicy : public AbrPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<AbrDecision> script) : script_(std::move(script)) {}
+  const char* name() const override { return "scripted"; }
+  AbrDecision decide(const AbrObservation& obs) override {
+    return script_[obs.next_chunk % script_.size()];
+  }
+
+ private:
+  std::vector<AbrDecision> script_;
+};
+
+// Full-fidelity comparison: chunk records, trajectory, outcome, startup.
+void expect_sessions_identical(const SessionResult& a, const SessionResult& b) {
+  ASSERT_EQ(a.chunks().size(), b.chunks().size());
+  EXPECT_EQ(a.startup_delay_s(), b.startup_delay_s());
+  EXPECT_EQ(a.outcome(), b.outcome());
+  EXPECT_EQ(a.video_name(), b.video_name());
+  EXPECT_EQ(a.trace_name(), b.trace_name());
+  for (size_t i = 0; i < a.chunks().size(); ++i) {
+    const ChunkRecord& x = a.chunks()[i];
+    const ChunkRecord& y = b.chunks()[i];
+    SCOPED_TRACE("chunk " + std::to_string(i));
+    EXPECT_EQ(x.level, y.level);
+    EXPECT_EQ(x.bitrate_kbps, y.bitrate_kbps);
+    EXPECT_EQ(x.size_bytes, y.size_bytes);
+    EXPECT_EQ(x.download_start_s, y.download_start_s);
+    EXPECT_EQ(x.download_time_s, y.download_time_s);
+    EXPECT_EQ(x.rebuffer_s, y.rebuffer_s);
+    EXPECT_EQ(x.scheduled_rebuffer_s, y.scheduled_rebuffer_s);
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+    EXPECT_EQ(x.visual_quality, y.visual_quality);
+  }
+  ASSERT_NE(a.timeline(), nullptr);
+  ASSERT_NE(b.timeline(), nullptr);
+  const SessionTimeline& ta = *a.timeline();
+  const SessionTimeline& tb = *b.timeline();
+  EXPECT_EQ(ta.outcome(), tb.outcome());
+  if (ta.outcome() == SessionOutcome::kOutage) {
+    EXPECT_EQ(ta.outage_chunk(), tb.outage_chunk());
+    EXPECT_EQ(ta.outage_wall_s(), tb.outage_wall_s());
+  }
+  EXPECT_EQ(ta.startup_delay_s(), tb.startup_delay_s());
+  ASSERT_EQ(ta.chunks().size(), tb.chunks().size());
+  for (size_t i = 0; i < ta.chunks().size(); ++i) {
+    const ChunkTrajectory& x = ta.chunks()[i];
+    const ChunkTrajectory& y = tb.chunks()[i];
+    SCOPED_TRACE("trajectory " + std::to_string(i));
+    EXPECT_EQ(x.level, y.level);
+    EXPECT_EQ(x.request_wall_s, y.request_wall_s);
+    EXPECT_EQ(x.rtt_s, y.rtt_s);
+    EXPECT_EQ(x.transfer_s, y.transfer_s);
+    EXPECT_EQ(x.arrival_wall_s, y.arrival_wall_s);
+    EXPECT_EQ(x.stall_s, y.stall_s);
+    EXPECT_EQ(x.stall_start_wall_s, y.stall_start_wall_s);
+    EXPECT_EQ(x.scheduled_pause_s, y.scheduled_pause_s);
+    EXPECT_EQ(x.idle_s, y.idle_s);
+    EXPECT_EQ(x.buffer_before_s, y.buffer_before_s);
+    EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+    EXPECT_EQ(x.playhead_before_s, y.playhead_before_s);
+    EXPECT_EQ(x.playhead_after_s, y.playhead_after_s);
+    EXPECT_EQ(x.pause_debt_after_s, y.pause_debt_after_s);
+    EXPECT_EQ(x.goodput_kbps, y.goodput_kbps);
+  }
+  // The bench-side gate (bench_multisession's identity section) must agree
+  // with this field-by-field comparator: if either ever learns a field the
+  // other misses, one of the two checks here trips.
+  EXPECT_FALSE(bench::sessions_differ(a, b))
+      << "bench::sessions_differ disagrees with the field-by-field gate";
+}
+
+// --- net::SharedLink capacity accounting ------------------------------------
+
+TEST(SharedLink, EqualSplitSymmetricTransfersFinishTogether) {
+  // Flat 1000 Kbps link, two 1 Mbit transfers from t=0: each sees 500 Kbps,
+  // both finish at exactly 2 s having received exactly half the capacity.
+  net::ThroughputTrace trace("flat", std::vector<double>(100, 1000.0), 1.0);
+  net::SharedLink link(trace);
+  size_t a = link.begin(125000.0, 0.0);
+  size_t b = link.begin(125000.0, 0.0);
+  EXPECT_EQ(link.active_count(), 2u);
+  double finish = link.next_completion_s();
+  EXPECT_NEAR(finish, 2.0, 1e-9);
+  link.advance_to(finish);
+  auto completions = link.take_completions();
+  ASSERT_EQ(completions.size(), 2u);  // perfect tie: both leave together
+  EXPECT_EQ(completions[0].id, a);
+  EXPECT_EQ(completions[1].id, b);
+  EXPECT_EQ(link.active_count(), 0u);
+  EXPECT_NEAR(link.view(a).granted_bits, 1e6, 1e-3);
+  EXPECT_NEAR(link.view(b).granted_bits, 1e6, 1e-3);
+}
+
+TEST(SharedLink, LastLeaverGetsTheFullLink) {
+  // A: 0.5 Mbit, B: 1 Mbit on a flat 1000 Kbps link, both from t=0. Equal
+  // split until A leaves at t=1 (A needed 0.5 Mbit at 500 Kbps); B then has
+  // 0.5 Mbit left and the whole 1000 Kbps: done at t=1.5.
+  net::ThroughputTrace trace("flat", std::vector<double>(100, 1000.0), 1.0);
+  net::SharedLink link(trace);
+  size_t a = link.begin(62500.0, 0.0);
+  size_t b = link.begin(125000.0, 0.0);
+  double t1 = link.next_completion_s();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  link.advance_to(t1);
+  auto first = link.take_completions();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, a);
+  EXPECT_EQ(link.active_count(), 1u);
+  double t2 = link.next_completion_s();
+  EXPECT_NEAR(t2, 1.5, 1e-9);
+  link.advance_to(t2);
+  auto second = link.take_completions();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, b);
+  EXPECT_NEAR(link.view(b).finish_s, 1.5, 1e-9);
+}
+
+TEST(SharedLink, CapacityConservationUnderChurn) {
+  // Varying looping trace, transfers joining and leaving: at every event the
+  // bits granted across all transfers must equal the trace capacity of the
+  // busy spans (the link is never idle in this schedule) and may never
+  // exceed the capacity delivered so far.
+  net::ThroughputTrace trace("vary", {1000.0, 2500.0, 400.0, 3000.0, 1200.0, 700.0}, 1.0);
+  net::SharedLink link(trace);
+  util::Rng rng(0x5ea51);
+  link.begin(rng.uniform(2e4, 2e5), 0.0);
+  size_t joined = 1;
+  const size_t total = 12;
+  while (link.active_count() > 0) {
+    double completion = link.next_completion_s();
+    ASSERT_TRUE(std::isfinite(completion));
+    // Sometimes stop short of the completion to exercise partial drains and
+    // mid-flight joins.
+    double t = completion;
+    if (joined < total && rng.chance(0.6)) {
+      t = link.now_s() + (completion - link.now_s()) * rng.uniform(0.3, 0.9);
+    }
+    link.advance_to(t);
+    if (joined < total && t < completion) {
+      link.begin(rng.uniform(2e4, 2e5), t);
+      ++joined;
+    }
+    link.take_completions();
+
+    double granted = 0.0;
+    for (size_t id = 0; id < joined; ++id) granted += link.view(id).granted_bits;
+    double budget = link.cumulative_bits(link.now_s());
+    EXPECT_LE(granted, budget * (1.0 + 1e-9) + 1e-6);
+    // Never idle while active: everything delivered so far was granted.
+    EXPECT_NEAR(granted, budget, budget * 1e-9 + 1e-3);
+  }
+  EXPECT_EQ(joined, total);
+  for (size_t id = 0; id < joined; ++id) {
+    EXPECT_TRUE(link.view(id).finished);
+    EXPECT_EQ(link.view(id).granted_bits, link.view(id).total_bits);
+  }
+}
+
+TEST(SharedLink, DeadLinkReportsNoCompletion) {
+  net::ThroughputTrace cliff =
+      net::ThroughputTrace("cliff", std::vector<double>(2, 1000.0), 1.0).as_finite();
+  net::SharedLink link(cliff);
+  link.begin(125000.0, 0.0);  // 1 Mbit; the finite trace only carries 2 Mbit
+  link.begin(500000.0, 0.0);  // 4 Mbit: joint demand exceeds what's left
+  double t = link.next_completion_s();
+  // First finisher needs 2x its remaining — exactly the 2 Mbit available.
+  EXPECT_TRUE(std::isfinite(t));
+  link.advance_to(t);
+  ASSERT_EQ(link.take_completions().size(), 1u);
+  // The survivor needs 3.5 Mbit more from an exhausted finite trace: dead.
+  EXPECT_TRUE(std::isinf(link.next_completion_s()));
+}
+
+// --- SessionEngine as a stepwise state machine ------------------------------
+
+TEST(SessionEngine, WalksTheDeclaredStates) {
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("EngineWalk", media::Genre::kSports, 40));
+  net::ThroughputTrace trace("flat", std::vector<double>(600, 3000.0), 1.0);
+  PlayerConfig config;  // default rtt 0.08 keeps kRtt distinct
+  ScriptedPolicy policy({{1, 0.0}});
+  SessionEngine engine(config, video, trace, policy, {});
+  EXPECT_EQ(engine.state(), SessionEngine::State::kRequesting);
+
+  bool saw_rtt = false, saw_transfer = false, saw_arrived = false;
+  double last_t = -1.0;
+  while (!engine.done()) {
+    double t = engine.next_event_time();
+    ASSERT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, last_t);  // the event clock never runs backwards
+    last_t = t;
+    engine.step();  // single-step drive: observe even the transient states
+    switch (engine.state()) {
+      case SessionEngine::State::kRtt: saw_rtt = true; break;
+      case SessionEngine::State::kTransferring: saw_transfer = true; break;
+      case SessionEngine::State::kArrived: saw_arrived = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_rtt);
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_arrived);
+  EXPECT_EQ(engine.state(), SessionEngine::State::kDone);
+
+  // The stepwise drive emitted exactly what the one-shot wrapper emits.
+  ScriptedPolicy fresh({{1, 0.0}});
+  expect_sessions_identical(engine.take_result(), Player(config).stream(video, trace, fresh));
+}
+
+// --- the Simulator-vs-Player bit-identity gate ------------------------------
+
+class SimulatorEquivalence : public ::testing::Test {
+ protected:
+  static std::vector<net::ThroughputTrace> gate_traces() {
+    // Looping evaluation traces plus the outage shapes: a finite cliff that
+    // dies mid-session and a dead-from-the-start link.
+    std::vector<net::ThroughputTrace> traces = net::TraceGenerator::test_set(500.0);
+    traces.push_back(
+        net::ThroughputTrace("cliff", std::vector<double>(45, 3500.0), 1.0).as_finite());
+    traces.push_back(net::ThroughputTrace("dead", {0.0, 0.0}, 1.0));
+    return traces;
+  }
+
+  static std::unique_ptr<AbrPolicy> make_policy(int kind) {
+    switch (kind) {
+      case 0:
+        return std::make_unique<ScriptedPolicy>(
+            std::vector<AbrDecision>{{0, 0.0}, {4, 0.0}, {2, 1.0}, {3, 0.0}, {1, 2.0}});
+      case 1:
+        return std::make_unique<abr::BbaAbr>();
+      default: {
+        abr::FuguConfig fugu;
+        fugu.use_weights = true;
+        fugu.rebuffer_options = {0.0, 1.0, 2.0};
+        return std::make_unique<abr::FuguAbr>(fugu);
+      }
+    }
+  }
+};
+
+TEST_F(SimulatorEquivalence, SingleSessionOnDedicatedLinkMatchesPlayerBitForBit) {
+  std::vector<media::EncodedVideo> videos;
+  videos.push_back(media::Encoder().encode(
+      media::SourceVideo::generate("SimEqA", media::Genre::kSports, 120)));
+  videos.push_back(media::Encoder().encode(
+      media::SourceVideo::generate("SimEqB", media::Genre::kNature, 180)));
+  auto traces = gate_traces();
+  PlayerConfig config;  // default rtt: the gate holds with RTT in play
+
+  for (const auto& video : videos) {
+    std::vector<double> weights(video.num_chunks(), 1.0);
+    for (size_t i = 0; i < weights.size(); i += 4) weights[i] = 1.0 + 0.1 * double(i % 7);
+
+    for (size_t t = 0; t < traces.size(); ++t) {
+      for (int kind = 0; kind < 3; ++kind) {
+        SCOPED_TRACE(video.source().name() + " trace " + traces[t].name() + " policy " +
+                     std::to_string(kind));
+        auto player_policy = make_policy(kind);
+        SessionResult expected =
+            Player(config).stream(video, traces[t], *player_policy, weights);
+
+        auto sim_policy = make_policy(kind);
+        SessionSpec spec;
+        spec.video = &video;
+        spec.policy = sim_policy.get();
+        spec.weights = &weights;
+        auto results = Simulator(config).run({spec}, traces[t], LinkMode::kDedicated);
+        ASSERT_EQ(results.size(), 1u);
+        expect_sessions_identical(expected, results[0].session);
+      }
+    }
+  }
+}
+
+TEST_F(SimulatorEquivalence, InterleavedDedicatedSessionsEachMatchTheirSoloRun) {
+  // Three staggered sessions share one event loop but private links: the
+  // interleaving must not leak between sessions — each result equals its
+  // solo Player run bit for bit.
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("SimIso", media::Genre::kGaming, 120));
+  net::ThroughputTrace trace = net::TraceGenerator::cellular("iso-cell", 1100, 600.0, 31);
+  PlayerConfig config;
+
+  std::vector<std::unique_ptr<AbrPolicy>> policies;
+  std::vector<SessionSpec> specs;
+  for (size_t k = 0; k < 3; ++k) {
+    policies.push_back(make_policy(static_cast<int>(k)));
+    SessionSpec spec;
+    spec.video = &video;
+    spec.policy = policies.back().get();
+    spec.start_s = 3.7 * static_cast<double>(k);
+    specs.push_back(spec);
+  }
+  auto results = Simulator(config).run(specs, trace, LinkMode::kDedicated);
+  ASSERT_EQ(results.size(), 3u);
+
+  // NOTE: staggered dedicated sessions read the trace at their own absolute
+  // offset, so the solo baseline must start at the same offset. A flat
+  // trace removes the offset; here we re-run through the Simulator at the
+  // same start instead, exercising determinism of the loop itself.
+  for (size_t k = 0; k < 3; ++k) {
+    auto fresh = make_policy(static_cast<int>(k));
+    SessionSpec spec = specs[k];
+    spec.policy = fresh.get();
+    auto solo = Simulator(config).run({spec}, trace, LinkMode::kDedicated);
+    SCOPED_TRACE("session " + std::to_string(k));
+    expect_sessions_identical(solo[0].session, results[k].session);
+  }
+
+  // And a session starting at 0 equals the plain Player run exactly.
+  auto fresh = make_policy(0);
+  SessionSpec spec;
+  spec.video = &video;
+  spec.policy = fresh.get();
+  auto sim0 = Simulator(config).run({spec}, trace, LinkMode::kDedicated);
+  auto player_policy = make_policy(0);
+  expect_sessions_identical(Player(config).stream(video, trace, *player_policy),
+                            sim0[0].session);
+}
+
+TEST_F(SimulatorEquivalence, GateHoldsAcrossRunnerThreads) {
+  // The gate fanned over ExperimentRunner at 1 and 4 workers: simulator
+  // cells are tasks; outputs must be bit-identical to the serial run.
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("SimGrid", media::Genre::kAnimation, 120));
+  auto traces = gate_traces();
+  PlayerConfig config;
+
+  auto run_cells = [&](size_t threads) {
+    core::ExperimentRunner runner(threads);
+    std::vector<SessionResult> out(traces.size() * 2);
+    runner.for_each(out.size(), [&](size_t i) {
+      size_t t = i / 2;
+      bool through_simulator = (i % 2) == 1;
+      auto policy = make_policy(2);  // Fugu: the stateful, planner-backed one
+      if (through_simulator) {
+        SessionSpec spec;
+        spec.video = &video;
+        spec.policy = policy.get();
+        out[i] = Simulator(config)
+                     .run({spec}, traces[t], LinkMode::kDedicated)[0]
+                     .session;
+      } else {
+        out[i] = Player(config).stream(video, traces[t], *policy);
+      }
+    });
+    return out;
+  };
+
+  auto serial = run_cells(1);
+  auto parallel = run_cells(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); i += 2) {
+    SCOPED_TRACE("trace " + std::to_string(i / 2));
+    // Player vs Simulator within a run, and each across thread counts.
+    expect_sessions_identical(serial[i], serial[i + 1]);
+    expect_sessions_identical(serial[i], parallel[i]);
+    expect_sessions_identical(serial[i + 1], parallel[i + 1]);
+  }
+}
+
+// --- shared-link contention behavior ----------------------------------------
+
+TEST(SimulatorContention, SymmetricSessionsStaySymmetricAndSlower) {
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("SymShare", media::Genre::kSports, 80));
+  net::ThroughputTrace trace("flat", std::vector<double>(4000, 2400.0), 1.0);
+  PlayerConfig config;
+
+  auto run_shared = [&](size_t n) {
+    std::vector<std::unique_ptr<AbrPolicy>> policies;
+    std::vector<SessionSpec> specs;
+    for (size_t k = 0; k < n; ++k) {
+      policies.push_back(std::make_unique<ScriptedPolicy>(
+          std::vector<AbrDecision>{{2, 0.0}}));
+      SessionSpec spec;
+      spec.video = &video;
+      spec.policy = policies.back().get();
+      specs.push_back(spec);
+    }
+    return Simulator(config).run(specs, trace, LinkMode::kShared);
+  };
+
+  auto solo = run_shared(1);
+  auto pair = run_shared(2);
+  ASSERT_EQ(pair.size(), 2u);
+  // Fairness: indistinguishable viewers get bit-identical sessions.
+  expect_sessions_identical(pair[0].session, pair[1].session);
+  // Contention: sharing can only slow downloads down.
+  ASSERT_EQ(solo[0].session.chunks().size(), pair[0].session.chunks().size());
+  double solo_total = 0.0, pair_total = 0.0;
+  for (const auto& c : solo[0].session.chunks()) solo_total += c.download_time_s;
+  for (const auto& c : pair[0].session.chunks()) pair_total += c.download_time_s;
+  EXPECT_GT(pair_total, solo_total * 1.2);
+  // On a flat link with one lone session, the shared-link path agrees with
+  // the dedicated integrator to numerical precision.
+  ScriptedPolicy dedicated_policy({{2, 0.0}});
+  SessionResult dedicated = Player(config).stream(video, trace, dedicated_policy);
+  ASSERT_EQ(dedicated.chunks().size(), solo[0].session.chunks().size());
+  for (size_t i = 0; i < dedicated.chunks().size(); ++i) {
+    EXPECT_NEAR(solo[0].session.chunks()[i].download_time_s,
+                dedicated.chunks()[i].download_time_s, 1e-6);
+  }
+}
+
+TEST(SimulatorContention, SharedOutageTruncatesEverySession) {
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("ShareOut", media::Genre::kNature, 240));
+  net::ThroughputTrace cliff =
+      net::ThroughputTrace("cliff", std::vector<double>(50, 2800.0), 1.0).as_finite();
+  PlayerConfig config;
+
+  std::vector<std::unique_ptr<AbrPolicy>> policies;
+  std::vector<SessionSpec> specs;
+  for (size_t k = 0; k < 3; ++k) {
+    policies.push_back(std::make_unique<ScriptedPolicy>(std::vector<AbrDecision>{{3, 0.0}}));
+    SessionSpec spec;
+    spec.video = &video;
+    spec.policy = policies.back().get();
+    spec.start_s = 4.0 * static_cast<double>(k);
+    specs.push_back(spec);
+  }
+  auto results = Simulator(config).run(specs, cliff, LinkMode::kShared);
+  for (size_t k = 0; k < results.size(); ++k) {
+    SCOPED_TRACE("session " + std::to_string(k));
+    EXPECT_EQ(results[k].session.outcome(), SessionOutcome::kOutage);
+    EXPECT_LT(results[k].session.chunks().size(), video.num_chunks());
+    ASSERT_NE(results[k].session.timeline(), nullptr);
+    std::string why;
+    EXPECT_TRUE(results[k].session.timeline()->check_invariants(&why)) << why;
+  }
+}
+
+TEST(SimulatorContention, StaggeredArrivalsSeeLessContentionAtTheEdges) {
+  // First arrival streams alone for a while: its first chunks download at
+  // full speed; mid-flight chunks contend. Sanity of the sharing dynamics.
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("Stagger", media::Genre::kGaming, 120));
+  net::ThroughputTrace trace("flat", std::vector<double>(4000, 3000.0), 1.0);
+  PlayerConfig config;
+  config.rtt_s = 0.0;
+
+  std::vector<std::unique_ptr<AbrPolicy>> policies;
+  std::vector<SessionSpec> specs;
+  for (size_t k = 0; k < 4; ++k) {
+    policies.push_back(std::make_unique<ScriptedPolicy>(std::vector<AbrDecision>{{3, 0.0}}));
+    SessionSpec spec;
+    spec.video = &video;
+    spec.policy = policies.back().get();
+    spec.start_s = 2.0 * static_cast<double>(k);
+    specs.push_back(spec);
+  }
+  auto results = Simulator(config).run(specs, trace, LinkMode::kShared);
+  const auto& first = results[0].session;
+  ASSERT_GT(first.chunks().size(), 8u);
+  // Chunk 0 of the first session mostly downloaded before the others
+  // arrived (solo or lightly contended); by chunk 6 all four viewers are
+  // active and per-session goodput sits near a quarter of the link.
+  ASSERT_NE(first.timeline(), nullptr);
+  double first_goodput = first.timeline()->chunks()[0].goodput_kbps;
+  double mid_goodput = first.timeline()->chunks()[6].goodput_kbps;
+  EXPECT_LT(mid_goodput, 1100.0);
+  EXPECT_GT(first_goodput, 2.0 * mid_goodput);
+}
+
+// --- Experiments multi-session grid across runner threads -------------------
+
+TEST(MultiSessionGrid, BitIdenticalAcrossRunnerThreads) {
+  std::vector<core::Experiments::MultiSessionCell> cells;
+  for (size_t t = 0; t < 3; ++t) {
+    core::Experiments::MultiSessionCell cell;
+    cell.trace_index = t;
+    cell.num_sessions = 6;
+    cell.stagger_s = 5.0;
+    cell.mode = t == 1 ? sim::LinkMode::kDedicated : sim::LinkMode::kShared;
+    cells.push_back(cell);
+  }
+  auto factory = [] { return std::make_unique<abr::BbaAbr>(); };
+
+  auto run = [&](size_t threads) {
+    core::ExperimentRunner runner(threads);
+    return core::Experiments::run_multisession_grid(cells, factory, false, runner);
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), parallel[c].size());
+    for (size_t k = 0; k < serial[c].size(); ++k) {
+      SCOPED_TRACE("cell " + std::to_string(c) + " session " + std::to_string(k));
+      EXPECT_EQ(serial[c][k].start_s, parallel[c][k].start_s);
+      expect_sessions_identical(serial[c][k].session, parallel[c][k].session);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sensei::sim
