@@ -8,6 +8,7 @@
 //   ./bench_multisession --out FILE            JSON destination
 //   ./bench_multisession --threads N           ExperimentRunner pool size
 //   ./bench_multisession --trace-integration indexed|walker
+//   ./bench_multisession --baseline FILE       validate a pinned JSON's schema
 //
 // Three sections:
 //  1. identity — single sessions driven through the Simulator on a
@@ -19,7 +20,10 @@
 //     and across --trace-integration modes: they must be byte-identical.
 //  3. scale — staggered-arrival contention scenarios on one shared
 //     bottleneck sized N x a per-viewer fair share, up to >= 1000 concurrent
-//     sessions; reports wall time and sessions/s.
+//     sessions; reports wall time and sessions/s. Fugu runs twice, once per
+//     planner mode (dp = exact, vi = discretized value iteration), and the
+//     JSON pins both the sessions/s speedup and the vi-vs-dp mean-QoE delta
+//     ("fugu_compare").
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -65,6 +69,26 @@ CellAggregate aggregate(const std::vector<sim::MultiSessionResult>& cell) {
   return agg;
 }
 
+// Mean per-chunk QoE over every session in a run, under the default chunk
+// quality parameters: the fixed yardstick behind the discretized-vs-exact
+// delta pinned in the JSON. Stalls are charged as recorded (rebuffer_s
+// already includes the scheduled portion).
+double mean_chunk_qoe(const std::vector<sim::MultiSessionResult>& results) {
+  qoe::ChunkQualityParams params;
+  double sum = 0.0;
+  size_t n = 0;
+  for (const sim::MultiSessionResult& r : results) {
+    const auto& chunks = r.session.chunks();
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      double prev_vq = i > 0 ? chunks[i - 1].visual_quality : chunks[i].visual_quality;
+      sum += qoe::chunk_quality(chunks[i].visual_quality, chunks[i].rebuffer_s, prev_vq,
+                                params);
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
 // Peak number of sessions simultaneously in flight (arrival to last event).
 size_t peak_concurrency(const std::vector<sim::MultiSessionResult>& results) {
   std::vector<std::pair<double, int>> edges;
@@ -87,11 +111,19 @@ size_t peak_concurrency(const std::vector<sim::MultiSessionResult>& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--threads", "--trace-integration"}, {"--smoke"},
+  bench::check_flags(argc, argv, {"--out", "--threads", "--trace-integration", "--baseline"},
+                     {"--smoke"},
                      "bench_multisession [--smoke] [--out FILE] [--threads N] "
-                     "[--trace-integration indexed|walker]");
+                     "[--trace-integration indexed|walker] [--baseline FILE]");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_multisession.json");
+  const std::string baseline_path = bench::baseline_arg(argc, argv);
+  if (!baseline_path.empty()) {
+    // A pre-planner-mode baseline must fail here, not silently diff clean.
+    bench::check_baseline_fields(baseline_path, 2,
+                                 {"\"planner\"", "\"fugu_compare\"",
+                                  "\"qoe_delta_vs_exact\"", "\"fugu_vi_sessions_per_s\""});
+  }
   const net::TraceIntegration integration = bench::trace_integration_arg(argc, argv);
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
 
@@ -174,12 +206,14 @@ int main(int argc, char** argv) {
   // ---- 3. scale: contention scenarios up to >= 1000 concurrent sessions ---
   struct ScenarioRow {
     std::string policy;
+    std::string planner;  // "dp"/"vi" for fugu rows, "-" for planner-less policies
     size_t sessions = 0;
     double stagger_s = 0.0;
     double wall_s = 0.0;
     CellAggregate agg;
     size_t peak_concurrent = 0;
     double sim_duration_s = 0.0;
+    double mean_qoe = 0.0;
   };
   std::vector<ScenarioRow> scenario_rows;
   {
@@ -198,19 +232,26 @@ int main(int argc, char** argv) {
     struct ScenarioSpec {
       const char* policy;
       size_t sessions;
+      // Fugu rows only: which lookahead engine (kDp = exact baseline,
+      // kVi = discretized). The same session population runs under both so
+      // the JSON can pin the sessions/s speedup and the QoE delta.
+      abr::PlannerKind planner = abr::PlannerKind::kDp;
     };
-    std::vector<ScenarioSpec> scenarios = smoke
-                                              ? std::vector<ScenarioSpec>{{"bba", 50},
-                                                                          {"bba", 200}}
-                                              : std::vector<ScenarioSpec>{{"bba", 100},
-                                                                          {"fugu", 100},
-                                                                          {"bba", 400},
-                                                                          {"bba", 1000}};
+    std::vector<ScenarioSpec> scenarios =
+        smoke ? std::vector<ScenarioSpec>{{"bba", 50, abr::PlannerKind::kDp},
+                                          {"bba", 200, abr::PlannerKind::kDp},
+                                          {"fugu", 40, abr::PlannerKind::kDp},
+                                          {"fugu", 40, abr::PlannerKind::kVi}}
+              : std::vector<ScenarioSpec>{{"bba", 100, abr::PlannerKind::kDp},
+                                          {"fugu", 100, abr::PlannerKind::kDp},
+                                          {"fugu", 100, abr::PlannerKind::kVi},
+                                          {"bba", 400, abr::PlannerKind::kDp},
+                                          {"bba", 1000, abr::PlannerKind::kDp}};
     std::printf("scale: staggered arrivals on a shared bottleneck of N x 1700 Kbps "
                 "(%zu thread(s) build the cells; the event loop itself is serial)\n",
                 runner.num_threads());
-    std::printf("%8s %9s %10s %12s %12s %10s %8s\n", "policy", "sessions", "peak", "wall s",
-                "sessions/s", "chunks/s", "outages");
+    std::printf("%8s %8s %9s %10s %12s %12s %10s %8s\n", "policy", "planner", "sessions",
+                "peak", "wall s", "sessions/s", "chunks/s", "outages");
     for (const ScenarioSpec& scenario : scenarios) {
       // Bottleneck sized for a ~1700 Kbps per-viewer fair share, like a CDN
       // edge serving N concurrent players.
@@ -222,9 +263,12 @@ int main(int argc, char** argv) {
       const double stagger_s = 50.0 / static_cast<double>(scenario.sessions);
       std::vector<std::unique_ptr<sim::AbrPolicy>> policies;
       std::vector<sim::AbrPolicy*> policy_ptrs;
+      const bool is_fugu = std::string(scenario.policy) == "fugu";
       for (size_t k = 0; k < scenario.sessions; ++k) {
-        if (std::string(scenario.policy) == "fugu") {
-          policies.push_back(std::make_unique<abr::FuguAbr>());
+        if (is_fugu) {
+          abr::FuguConfig fc;
+          fc.planner = scenario.planner;
+          policies.push_back(std::make_unique<abr::FuguAbr>(fc));
         } else {
           policies.push_back(std::make_unique<abr::BbaAbr>());
         }
@@ -238,11 +282,14 @@ int main(int argc, char** argv) {
 
       ScenarioRow row;
       row.policy = scenario.policy;
+      row.planner =
+          is_fugu ? (scenario.planner == abr::PlannerKind::kVi ? "vi" : "dp") : "-";
       row.sessions = scenario.sessions;
       row.stagger_s = stagger_s;
       row.wall_s = wall;
       row.agg = aggregate(results);
       row.peak_concurrent = peak_concurrency(results);
+      row.mean_qoe = mean_chunk_qoe(results);
       for (const sim::MultiSessionResult& r : results) {
         if (r.session.timeline() != nullptr) {
           row.sim_duration_s =
@@ -250,8 +297,8 @@ int main(int argc, char** argv) {
         }
       }
       scenario_rows.push_back(row);
-      std::printf("%8s %9zu %10zu %12.3f %12.1f %10.0f %8zu\n", row.policy.c_str(),
-                  row.sessions, row.peak_concurrent, row.wall_s,
+      std::printf("%8s %8s %9zu %10zu %12.3f %12.1f %10.0f %8zu\n", row.policy.c_str(),
+                  row.planner.c_str(), row.sessions, row.peak_concurrent, row.wall_s,
                   static_cast<double>(row.sessions) / row.wall_s,
                   static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages);
     }
@@ -265,7 +312,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"multisession\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"config\": {\"threads\": %zu, \"trace_integration\": \"%s\"},\n",
                runner.num_threads(),
@@ -294,16 +341,48 @@ int main(int argc, char** argv) {
     max_sessions = std::max(max_sessions, row.peak_concurrent);
     peak_rate = std::max(peak_rate, rate);
     std::fprintf(f,
-                 "    {\"policy\": \"%s\", \"sessions\": %zu, \"peak_concurrent\": %zu, "
+                 "    {\"policy\": \"%s\", \"planner\": \"%s\", \"sessions\": %zu, "
+                 "\"peak_concurrent\": %zu, "
                  "\"stagger_s\": %.6g, \"link\": \"shared\", \"wall_s\": %.4f, "
                  "\"sessions_per_s\": %.1f, \"chunks\": %zu, \"chunks_per_s\": %.0f, "
-                 "\"outages\": %zu, \"sim_duration_s\": %.1f}%s\n",
-                 row.policy.c_str(), row.sessions, row.peak_concurrent, row.stagger_s,
-                 row.wall_s, rate, row.agg.chunks,
+                 "\"outages\": %zu, \"sim_duration_s\": %.1f, \"mean_qoe\": %.6f}%s\n",
+                 row.policy.c_str(), row.planner.c_str(), row.sessions,
+                 row.peak_concurrent, row.stagger_s, row.wall_s, rate, row.agg.chunks,
                  static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages,
-                 row.sim_duration_s, i + 1 < scenario_rows.size() ? "," : "");
+                 row.sim_duration_s, row.mean_qoe, i + 1 < scenario_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+
+  // Discretized-vs-exact comparison over the paired Fugu scenarios: the
+  // speedup the vi planner buys at fleet scale, and what it costs in mean
+  // per-chunk QoE against the bit-exact dp baseline.
+  {
+    const ScenarioRow* dp_row = nullptr;
+    const ScenarioRow* vi_row = nullptr;
+    for (const ScenarioRow& row : scenario_rows) {
+      if (row.policy != "fugu") continue;
+      if (row.planner == "dp" && dp_row == nullptr) dp_row = &row;
+      if (row.planner == "vi" && vi_row == nullptr) vi_row = &row;
+    }
+    if (dp_row != nullptr && vi_row != nullptr) {
+      double dp_rate = static_cast<double>(dp_row->sessions) / dp_row->wall_s;
+      double vi_rate = static_cast<double>(vi_row->sessions) / vi_row->wall_s;
+      std::fprintf(f,
+                   "  \"fugu_compare\": {\"sessions\": %zu, "
+                   "\"fugu_dp_sessions_per_s\": %.1f, \"fugu_vi_sessions_per_s\": %.1f, "
+                   "\"vi_speedup\": %.2f, \"dp_mean_qoe\": %.6f, \"vi_mean_qoe\": %.6f, "
+                   "\"qoe_delta_vs_exact\": %.6f, \"vi_quantum_s\": %g},\n",
+                   dp_row->sessions, dp_rate, vi_rate, vi_rate / dp_rate,
+                   dp_row->mean_qoe, vi_row->mean_qoe,
+                   vi_row->mean_qoe - dp_row->mean_qoe, abr::kDefaultViBufferQuantumS);
+      std::printf("\nfugu_compare: dp %.1f sessions/s, vi %.1f sessions/s (%.1fx), "
+                  "qoe delta vs exact %+.4f\n",
+                  dp_rate, vi_rate, vi_rate / dp_rate,
+                  vi_row->mean_qoe - dp_row->mean_qoe);
+    } else {
+      std::fprintf(f, "  \"fugu_compare\": null,\n");
+    }
+  }
   std::fprintf(f,
                "  \"summary\": {\"max_concurrent_sessions\": %zu, "
                "\"peak_sessions_per_s\": %.1f, \"identity_diffs\": %zu}\n",

@@ -1,17 +1,20 @@
-// Planner microbench: DP vs exhaustive MPC lookahead, swept over the
-// horizon. Emits machine-readable BENCH_planner.json (see bench/README.md
-// for the schema) so perf regressions in the system's hottest path are
-// caught by comparing runs.
+// Planner microbench: DP vs exhaustive vs discretized-VI MPC lookahead,
+// swept over the horizon. Emits machine-readable BENCH_planner.json (see
+// bench/README.md for the schema) so perf regressions in the system's
+// hottest path are caught by comparing runs.
 //
 //   ./bench_planner                 full sweep (horizons 1..7), ~30 s
 //   ./bench_planner --smoke         reduced sweep for CI (~2 s)
 //   ./bench_planner --out FILE      JSON destination (default BENCH_planner.json)
+//   ./bench_planner --quantum S     DP state-merging quantum (default 0 = exact)
+//   ./bench_planner --baseline FILE validate a pinned JSON's schema
 //
 // The workload mirrors SENSEI-Fugu's production configuration: the default
 // 5-level ladder, 8 throughput scenarios, scheduled-rebuffer options
-// {0,1,2} s, sensitivity weights on. Decisions of the two planners are
-// cross-checked while timing; any mismatch is reported in the JSON and
-// fails the process.
+// {0,1,2} s, sensitivity weights on. DP decisions are cross-checked against
+// the exhaustive reference while timing; any mismatch at quantum 0 fails
+// the process. The vi planner is lossy by design: its decision divergence
+// is counted and reported, never fatal.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -94,10 +97,17 @@ double time_plans_ns(abr::Planner& planner, const std::vector<abr::PlanQuery>& q
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--quantum"}, {"--smoke"},
-                     "bench_planner [--smoke] [--out FILE] [--quantum S]");
+  bench::check_flags(argc, argv, {"--out", "--quantum", "--baseline"}, {"--smoke"},
+                     "bench_planner [--smoke] [--out FILE] [--quantum S] [--baseline FILE]");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_planner.json");
+  const std::string baseline_path = bench::baseline_arg(argc, argv);
+  if (!baseline_path.empty()) {
+    // A pre-vi baseline must fail here, not silently diff clean.
+    bench::check_baseline_fields(baseline_path, 2,
+                                 {"\"vi\"", "\"vi_decision_divergence\"",
+                                  "\"vi_quantum_s\""});
+  }
   double quantum = abr::kDefaultDpBufferQuantumS;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--quantum") == 0) quantum = std::atof(argv[i + 1]);
@@ -117,29 +127,35 @@ int main(int argc, char** argv) {
 
   abr::DpPlanner dp(quantum);
   abr::ExhaustivePlanner exhaustive;
+  abr::ViPlanner vi;  // default quantum: the production discretization
 
   struct Row {
     size_t horizon;
-    double dp_ns, ex_ns;
+    double dp_ns, ex_ns, vi_ns;
     size_t mismatches;
+    size_t vi_divergence;
     size_t decisions;
   };
   std::vector<Row> rows;
   size_t total_mismatches = 0;
+  size_t total_vi_divergence = 0;
 
   std::printf("planner bench: %zu obs, %zu scenarios, ladder %zu levels, rebuf {0,1,2}s, "
-              "quantum %.3gs\n",
-              num_obs, num_scenarios, video.ladder().level_count(), quantum);
-  std::printf("%8s %14s %14s %10s %12s\n", "horizon", "dp ns/dec", "exhaustive ns",
-              "speedup", "mismatches");
+              "quantum %.3gs, vi quantum %.3gs\n",
+              num_obs, num_scenarios, video.ladder().level_count(), quantum,
+              vi.quantum_s());
+  std::printf("%8s %14s %14s %14s %10s %12s %10s\n", "horizon", "dp ns/dec",
+              "exhaustive ns", "vi ns/dec", "speedup", "mismatches", "vi div");
 
   for (size_t h : horizons) {
     std::vector<abr::PlanQuery> queries;
     queries.reserve(cases.size());
     for (const auto& c : cases) queries.push_back(make_query(c, h, rebuf));
 
-    // Cross-check decisions once before timing: the planners must agree.
+    // Cross-check decisions once before timing: dp must agree with the
+    // reference; vi's divergence is counted (lossy by design).
     size_t mismatches = 0;
+    size_t vi_divergence = 0;
     for (const auto& q : queries) {
       abr::PlanResult a = exhaustive.plan(q);
       abr::PlanResult b = dp.plan(q);
@@ -148,20 +164,26 @@ int main(int argc, char** argv) {
           a.nostall_value != b.nostall_value) {
         ++mismatches;
       }
+      abr::PlanResult v = vi.plan(q);
+      if (v.best_level != a.best_level || v.best_rebuffer_s != a.best_rebuffer_s) {
+        ++vi_divergence;
+      }
     }
     total_mismatches += mismatches;
+    total_vi_divergence += vi_divergence;
 
     // Repetitions scale down with the exponential cost of the exhaustive
-    // side; the DP runs proportionally more reps for stable timing.
+    // side; the DP and VI run proportionally more reps for stable timing.
     const size_t ex_reps = smoke ? 1 : (h <= 3 ? 20 : (h <= 5 ? 5 : 1));
     const size_t dp_reps = smoke ? 5 : 50;
 
     uint64_t checksum = 0;
     double dp_ns = time_plans_ns(dp, queries, dp_reps, &checksum);
     double ex_ns = time_plans_ns(exhaustive, queries, ex_reps, &checksum);
-    rows.push_back({h, dp_ns, ex_ns, mismatches, queries.size()});
-    std::printf("%8zu %14.0f %14.0f %9.1fx %12zu\n", h, dp_ns, ex_ns, ex_ns / dp_ns,
-                mismatches);
+    double vi_ns = time_plans_ns(vi, queries, dp_reps, &checksum);
+    rows.push_back({h, dp_ns, ex_ns, vi_ns, mismatches, vi_divergence, queries.size()});
+    std::printf("%8zu %14.0f %14.0f %14.0f %9.1fx %12zu %10zu\n", h, dp_ns, ex_ns, vi_ns,
+                ex_ns / dp_ns, mismatches, vi_divergence);
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -171,33 +193,43 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"planner\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f,
                "  \"config\": {\"levels\": %zu, \"scenarios\": %zu, \"observations\": %zu, "
                "\"rebuffer_options_s\": [0, 1, 2], \"use_weights\": true, "
-               "\"buffer_quantum_s\": %g, \"seed\": %llu},\n",
+               "\"buffer_quantum_s\": %g, \"vi_quantum_s\": %g, \"seed\": %llu},\n",
                video.ladder().level_count(), num_scenarios, num_obs, quantum,
-               static_cast<unsigned long long>(seed));
+               vi.quantum_s(), static_cast<unsigned long long>(seed));
   std::fprintf(f, "  \"horizons\": [\n");
   double speedup_h5 = 0.0;
+  double vi_speedup_h5 = 0.0;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     double speedup = r.ex_ns / r.dp_ns;
-    if (r.horizon == 5) speedup_h5 = speedup;
+    if (r.horizon == 5) {
+      speedup_h5 = speedup;
+      vi_speedup_h5 = r.dp_ns / r.vi_ns;
+    }
     std::fprintf(f,
                  "    {\"horizon\": %zu, "
                  "\"dp\": {\"ns_per_decision\": %.0f, \"decisions_per_s\": %.0f}, "
                  "\"exhaustive\": {\"ns_per_decision\": %.0f, \"decisions_per_s\": %.0f}, "
+                 "\"vi\": {\"ns_per_decision\": %.0f, \"decisions_per_s\": %.0f}, "
                  "\"speedup\": %.2f, \"decisions_checked\": %zu, "
-                 "\"decision_mismatches\": %zu}%s\n",
-                 r.horizon, r.dp_ns, 1e9 / r.dp_ns, r.ex_ns, 1e9 / r.ex_ns, speedup,
-                 r.decisions, r.mismatches, i + 1 < rows.size() ? "," : "");
+                 "\"decision_mismatches\": %zu, \"vi_decision_divergence\": %zu}%s\n",
+                 r.horizon, r.dp_ns, 1e9 / r.dp_ns, r.ex_ns, 1e9 / r.ex_ns, r.vi_ns,
+                 1e9 / r.vi_ns, speedup, r.decisions, r.mismatches, r.vi_divergence,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"summary\": {\"speedup_at_horizon_5\": %.2f, "
-                  "\"total_decision_mismatches\": %zu, \"dp_arena_bytes\": %zu}\n",
-               speedup_h5, total_mismatches, dp.arena_bytes());
+                  "\"vi_speedup_over_dp_at_horizon_5\": %.2f, "
+                  "\"total_decision_mismatches\": %zu, "
+                  "\"total_vi_decision_divergence\": %zu, "
+                  "\"dp_arena_bytes\": %zu, \"vi_arena_bytes\": %zu}\n",
+               speedup_h5, vi_speedup_h5, total_mismatches, total_vi_divergence,
+               dp.arena_bytes(), vi.arena_bytes());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

@@ -23,19 +23,82 @@
 
 namespace sensei::bench {
 
-// Parses `--planner dp|exhaustive` for the Fugu-based grid benches. The two
-// engines produce identical decisions (enforced by the equivalence tests),
-// so bench output must not change with this flag — only wall time does.
+// Parses `--planner dp|exhaustive|vi` for the Fugu-based grid benches.
+// dp and exhaustive produce identical decisions (enforced by the
+// equivalence tests), so bench output must not change between them — only
+// wall time does. vi is the lossy discretized value iteration: output may
+// legitimately shift within the accuracy bound pinned by
+// tests/test_planner_accuracy.cpp, so CI treats dp-vs-vi diffs as
+// informational, never as a determinism failure.
 inline abr::PlannerKind planner_arg(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--planner") == 0 && i + 1 < argc) {
       if (std::strcmp(argv[i + 1], "dp") == 0) return abr::PlannerKind::kDp;
       if (std::strcmp(argv[i + 1], "exhaustive") == 0) return abr::PlannerKind::kExhaustive;
-      std::fprintf(stderr, "error: --planner expects dp or exhaustive\n");
+      if (std::strcmp(argv[i + 1], "vi") == 0) return abr::PlannerKind::kVi;
+      std::fprintf(stderr, "error: --planner expects dp, exhaustive, or vi\n");
       std::exit(2);
     }
   }
   return abr::PlannerKind::kDp;
+}
+
+// Parses `--baseline FILE`: a pinned bench JSON from an earlier run whose
+// schema this binary validates via check_baseline_fields. Empty when absent.
+inline std::string baseline_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --baseline requires a file path\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Guards the pinned-JSON comparisons against stale baselines: fails the
+// process unless the JSON at `path` declares a schema_version of at least
+// `min_schema_version` AND contains every string in `required_fields`. A
+// baseline written before a schema gained a dimension (e.g. the planner
+// mode) would otherwise let a diff "pass" against a file that never
+// recorded the dimension under test.
+inline void check_baseline_fields(const std::string& path, long min_schema_version,
+                                  std::initializer_list<const char*> required_fields) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  const char* key = "\"schema_version\":";
+  size_t pos = text.find(key);
+  long version =
+      pos == std::string::npos ? 0 : std::strtol(text.c_str() + pos + std::strlen(key), nullptr, 10);
+  if (version < min_schema_version) {
+    std::fprintf(stderr,
+                 "error: baseline %s has schema_version %ld, this binary requires >= %ld "
+                 "(regenerate the pinned JSON)\n",
+                 path.c_str(), version, min_schema_version);
+    std::exit(1);
+  }
+  for (const char* field : required_fields) {
+    if (text.find(field) == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: baseline %s is missing required field %s "
+                   "(regenerate the pinned JSON)\n",
+                   path.c_str(), field);
+      std::exit(1);
+    }
+  }
+  std::printf("baseline %s: schema_version %ld ok, %zu required fields present\n",
+              path.c_str(), version, required_fields.size());
 }
 
 // Parses `--trace-integration indexed|walker` and applies it as the

@@ -40,12 +40,15 @@ struct FuguConfig {
   // stall risk often enough that an un-gated rebuffer action loses QoE.
   double rebuffer_margin = 0.35;
   // Which lookahead engine realizes the objective. kDp (default) is the
-  // memoized dynamic program; kExhaustive is the reference recursion.
+  // memoized dynamic program; kExhaustive is the reference recursion; kVi
+  // is the discretized value iteration — lossy but an order of magnitude
+  // faster, the fleet-scale mode (see planner.h).
   PlannerKind planner = PlannerKind::kDp;
-  // Buffer discretization for the DP's state merging. 0 (default) merges
-  // only bit-identical states, guaranteeing decisions identical to the
-  // exhaustive planner; > 0 enables Puffer-style lossy bucketing
-  // (unit_buf_length), appropriate for horizons beyond ~8 chunks.
+  // Buffer discretization in seconds, interpreted per planner. kDp: state
+  // merging quantum — 0 (default) merges only bit-identical states,
+  // guaranteeing decisions identical to the exhaustive planner; > 0 enables
+  // Puffer-style lossy bucketing (unit_buf_length). kVi: the value-table
+  // bucket width — <= 0 selects kDefaultViBufferQuantumS (0.25 s).
   double dp_buffer_quantum_s = 0.0;
 };
 
@@ -58,6 +61,10 @@ class FuguAbr : public sim::AbrPolicy {
   const char* name() const override { return config_.use_weights ? "Sensei-Fugu" : "Fugu"; }
   void begin_session(const media::EncodedVideo& video) override;
   sim::AbrDecision decide(const sim::AbrObservation& obs) override;
+  // Forwarded to the planner. Deliberately NOT copied by the copy
+  // operations above (they rebuild planner_ from config), so a policy
+  // cloned out of a Simulator run never carries a dangling batch pointer.
+  void attach_plan_batch(PlanBatch* batch) override { planner_->set_batch(batch); }
 
   const FuguConfig& config() const { return config_; }
   const Planner& planner() const { return *planner_; }

@@ -31,6 +31,133 @@ inline uint64_t bits_of(double v) {
 
 }  // namespace
 
+bool degenerate_plan(const PlanQuery& q, PlanResult* out) {
+  const size_t remaining =
+      q.obs->next_chunk < q.obs->num_chunks ? q.obs->num_chunks - q.obs->next_chunk : 0;
+  const size_t depth = std::min(q.horizon, remaining);
+  if (depth > 0 && q.num_scenarios > 0 && q.num_rebuffer_options > 0) return false;
+  const size_t levels = q.obs->video->ladder().level_count();
+  size_t level = q.obs->last_level;
+  if (levels > 0 && level >= levels) level = levels - 1;
+  out->best_level = level;
+  out->nostall_level = level;
+  out->best_rebuffer_s = 0.0;
+  out->best_value = 0.0;
+  out->nostall_value = 0.0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PlanBatch
+// ---------------------------------------------------------------------------
+
+const PlanBatch::VideoTables& PlanBatch::tables(const media::EncodedVideo& video,
+                                                const qoe::ChunkQualityParams& params) {
+  for (const auto& t : tables_) {
+    if (t->video == &video && t->params.beta_rebuf == params.beta_rebuf &&
+        t->params.rebuf_saturation == params.rebuf_saturation &&
+        t->params.beta_switch == params.beta_switch && t->params.floor == params.floor) {
+      return *t;
+    }
+  }
+  auto t = std::make_unique<VideoTables>();
+  t->video = &video;
+  t->params = params;
+  const size_t L = video.ladder().level_count();
+  const size_t n = video.num_chunks();
+  t->levels = L;
+  t->bits_kb.resize(n * L);
+  t->vq.resize(n * L);
+  t->qn.resize(n * L * L);
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t l = 0; l < L; ++l) {
+      const auto& rep = video.rep(c, l);
+      // Pre-scaled so a planner's download time is bits_kb / kbps + rtt —
+      // the same left-associated (size * 8 / 1000) / kbps the unbatched
+      // planners evaluate, hence bit-identical.
+      t->bits_kb[c * L + l] = rep.size_bytes * 8.0 / 1000.0;
+      t->vq[c * L + l] = rep.visual_quality;
+    }
+  }
+  for (size_t c = 1; c < n; ++c) {
+    for (size_t l = 0; l < L; ++l) {
+      for (size_t p = 0; p < L; ++p) {
+        t->qn[(c * L + l) * L + p] =
+            qoe::chunk_quality(t->vq[c * L + l], 0.0, t->vq[(c - 1) * L + p], params);
+      }
+    }
+  }
+  tables_.push_back(std::move(t));
+  return *tables_.back();
+}
+
+PlanBatch::ViValueTable& PlanBatch::vi_table(const media::EncodedVideo& video,
+                                             const qoe::ChunkQualityParams& params,
+                                             size_t next_chunk, size_t depth_count,
+                                             size_t levels, double quantum,
+                                             const double* key, size_t key_len,
+                                             size_t cell_count, bool* created) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const media::EncodedVideo* vp = &video;
+  const uint64_t dims[3] = {next_chunk, depth_count, levels};
+  const double pf[4] = {params.beta_rebuf, params.rebuf_saturation, params.beta_switch,
+                        params.floor};
+  mix(&vp, sizeof(vp));
+  mix(dims, sizeof(dims));
+  mix(&quantum, sizeof(quantum));
+  mix(pf, sizeof(pf));
+  mix(key, key_len * sizeof(double));
+
+  auto& chain = vi_tables_[h];
+  for (const auto& t : chain) {
+    if (t->video == &video && t->next_chunk == next_chunk &&
+        t->depth_count == depth_count && t->levels == levels && t->quantum == quantum &&
+        t->params.beta_rebuf == params.beta_rebuf &&
+        t->params.rebuf_saturation == params.rebuf_saturation &&
+        t->params.beta_switch == params.beta_switch && t->params.floor == params.floor &&
+        t->key.size() == key_len && std::equal(t->key.begin(), t->key.end(), key)) {
+      *created = false;
+      return *t;
+    }
+  }
+  chain.push_back(std::make_unique<ViValueTable>());
+  ViValueTable& t = *chain.back();
+  t.video = &video;
+  t.params = params;
+  t.next_chunk = next_chunk;
+  t.depth_count = depth_count;
+  t.levels = levels;
+  t.quantum = quantum;
+  t.key.assign(key, key + key_len);
+  t.v.assign(cell_count, 0.0);
+  t.filled.assign(cell_count, 0);
+  ++num_vi_tables_;
+  *created = true;
+  return t;
+}
+
+size_t PlanBatch::table_bytes() const {
+  size_t b = 0;
+  for (const auto& t : tables_) {
+    b += (t->bits_kb.capacity() + t->vq.capacity() + t->qn.capacity()) * sizeof(double);
+  }
+  for (const auto& [h, chain] : vi_tables_) {
+    (void)h;
+    for (const auto& t : chain) {
+      b += (t->key.capacity() + t->v.capacity() + t->dl.capacity()) * sizeof(double) +
+           t->filled.capacity();
+    }
+  }
+  return b;
+}
+
 // ---------------------------------------------------------------------------
 // ExhaustivePlanner: the original Fugu recursion, kept as the equivalence
 // baseline. Deliberately NOT optimized (per-node state-vector copies stay):
@@ -39,6 +166,7 @@ inline uint64_t bits_of(double v) {
 // ---------------------------------------------------------------------------
 
 PlanResult ExhaustivePlanner::plan(const PlanQuery& q) {
+  if (degenerate_plan(q, &result_)) return result_;
   std::vector<PlanState> states(q.num_scenarios);
   for (auto& st : states) {
     st.buffer_s = q.obs->buffer_s;
@@ -181,6 +309,15 @@ void DpPlanner::precompute(const PlanQuery& q, size_t depth_count) {
   child_buf_.resize(S);
   child_key_.resize(S);
 
+  // Static tables come from the shared batch when one is attached; the
+  // expressions below are the exact ones the batch builder ran (same
+  // left-associated scaling, same chunk_quality calls), so both sources
+  // yield bit-identical tables and the planner's output never depends on
+  // where they live.
+  const size_t base = q.obs->next_chunk;
+  const PlanBatch::VideoTables* vt =
+      batch_ != nullptr ? &batch_->tables(video, q.chunk) : nullptr;
+
   for (size_t d = 0; d < depth_count; ++d) {
     double w = 1.0;
     if (q.use_weights && d < q.obs->future_weights.size()) {
@@ -188,13 +325,20 @@ void DpPlanner::precompute(const PlanQuery& q, size_t depth_count) {
     }
     w_[d] = w;
 
-    const size_t chunk = q.obs->next_chunk + d;
+    const size_t chunk = base + d;
     for (size_t l = 0; l < L; ++l) {
-      const auto& rep = video.rep(chunk, l);
-      vq_[d * L + l] = rep.visual_quality;
+      double bits;
+      if (vt != nullptr) {
+        bits = vt->bits_kb[chunk * L + l];
+        vq_[d * L + l] = vt->vq[chunk * L + l];
+      } else {
+        const auto& rep = video.rep(chunk, l);
+        bits = rep.size_bytes * 8.0 / 1000.0;
+        vq_[d * L + l] = rep.visual_quality;
+      }
       for (size_t s = 0; s < S; ++s) {
         double kbps = std::max(1.0, q.scenarios[s].kbps);
-        dl_[(d * L + l) * S + s] = rep.size_bytes * 8.0 / 1000.0 / kbps + 0.08;
+        dl_[(d * L + l) * S + s] = bits / kbps + 0.08;
       }
     }
   }
@@ -207,9 +351,12 @@ void DpPlanner::precompute(const PlanQuery& q, size_t depth_count) {
     root_eqn_[l] = eqn;
   }
   for (size_t d = 1; d < depth_count; ++d) {
+    const size_t chunk = base + d;
     for (size_t l = 0; l < L; ++l) {
       for (size_t p = 0; p < L; ++p) {
-        double qn = qoe::chunk_quality(vq_[d * L + l], 0.0, vq_[(d - 1) * L + p], q.chunk);
+        double qn = vt != nullptr
+                        ? vt->qn[(chunk * L + l) * L + p]
+                        : qoe::chunk_quality(vq_[d * L + l], 0.0, vq_[(d - 1) * L + p], q.chunk);
         double eqn = 0.0;
         for (size_t s = 0; s < S; ++s) eqn += q.scenarios[s].probability * qn;
         qn_[(d * L + l) * L + p] = qn;
@@ -246,13 +393,7 @@ PlanResult DpPlanner::plan(const PlanQuery& q) {
   const size_t D = std::min(q.horizon, remaining);
 
   PlanResult result;
-  if (D == 0) {
-    // The exhaustive walk bottoms out immediately: the empty plan has value
-    // 0 and the initial (level 0, no stall) first action.
-    result.best_value = 0.0;
-    result.nostall_value = 0.0;
-    return result;
-  }
+  if (degenerate_plan(q, &result)) return result;
   precompute(q, D);
 
   uint64_t best_rank = kNoRank;
@@ -382,7 +523,7 @@ PlanResult DpPlanner::plan(const PlanQuery& q) {
   recs_[cur].assign(1, StateRec{});
 
   const auto key_of = [this](double v) -> uint64_t {
-    if (quantum_ > 0.0) return static_cast<uint64_t>(std::llround(v / quantum_));
+    if (quantum_ > 0.0) return buffer_bucket(v, quantum_);
     return bits_of(v);
   };
 
@@ -553,10 +694,289 @@ PlanResult DpPlanner::plan(const PlanQuery& q) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// ViPlanner
+// ---------------------------------------------------------------------------
+
+ViPlanner::ViPlanner(double buffer_quantum_s)
+    : quantum_(buffer_quantum_s > 0.0 ? buffer_quantum_s : kDefaultViBufferQuantumS) {}
+
+size_t ViPlanner::arena_bytes() const {
+  return (local_bits_.capacity() + local_vq_.capacity() + local_qn_.capacity() +
+          local_dl_.capacity() + prob_.capacity() + w_.capacity() + root_qn_.capacity() +
+          qscen_.capacity() * 2 + key_.capacity() + width_.capacity() + v_.capacity()) *
+             sizeof(double) +
+         (vstamp_.capacity() + bcount_.capacity() + off_.capacity()) * sizeof(uint64_t);
+}
+
+void ViPlanner::precompute(const PlanQuery& q, size_t depth_count) {
+  const auto& video = *q.obs->video;
+  const size_t L = video.ladder().level_count();
+  const size_t S = q.num_scenarios;
+  const size_t base = q.obs->next_chunk;
+
+  if (batch_ != nullptr) {
+    const PlanBatch::VideoTables& vt = batch_->tables(video, q.chunk);
+    bits_tab_ = &vt.bits_kb[base * L];
+    vq_tab_ = &vt.vq[base * L];
+    qn_tab_ = &vt.qn[base * L * L];
+  } else {
+    local_bits_.resize(depth_count * L);
+    local_vq_.resize(depth_count * L);
+    local_qn_.resize(depth_count * L * L);
+    for (size_t d = 0; d < depth_count; ++d) {
+      const size_t chunk = base + d;
+      for (size_t l = 0; l < L; ++l) {
+        const auto& rep = video.rep(chunk, l);
+        local_bits_[d * L + l] = rep.size_bytes * 8.0 / 1000.0;
+        local_vq_[d * L + l] = rep.visual_quality;
+      }
+    }
+    for (size_t d = 1; d < depth_count; ++d) {
+      for (size_t l = 0; l < L; ++l) {
+        for (size_t p = 0; p < L; ++p) {
+          local_qn_[(d * L + l) * L + p] = qoe::chunk_quality(
+              local_vq_[d * L + l], 0.0, local_vq_[(d - 1) * L + p], q.chunk);
+        }
+      }
+    }
+    bits_tab_ = local_bits_.data();
+    vq_tab_ = local_vq_.data();
+    qn_tab_ = local_qn_.data();
+  }
+
+  // The planner's actual throughput inputs are the quantized scenarios: the
+  // same discretization whether or not a batch is attached, so attaching
+  // can only move where tables live, never what they hold.
+  qscen_.resize(S);
+  prob_.resize(S);
+  for (size_t s = 0; s < S; ++s) {
+    qscen_[s].kbps = quantize_kbps(q.scenarios[s].kbps);
+    qscen_[s].probability = q.scenarios[s].probability;
+    prob_[s] = q.scenarios[s].probability;
+  }
+
+  w_.resize(depth_count);
+  for (size_t d = 0; d < depth_count; ++d) {
+    double w = 1.0;
+    if (q.use_weights && d < q.obs->future_weights.size()) {
+      w = 1.0 + q.weight_shrinkage * (q.obs->future_weights[d] - 1.0);
+    }
+    w_[d] = w;
+  }
+
+  root_qn_.resize(L);
+  for (size_t l = 0; l < L; ++l) {
+    root_qn_[l] = qoe::chunk_quality(vq_tab_[l], 0.0, q.prev_visual_quality, q.chunk);
+  }
+
+  // The root step is evaluated with the *exact* forecasts: the immediate
+  // stall/no-stall tradeoff is the decision's dominant term, and judging it
+  // on kbps rounded up a bin would schedule real stalls. Only the value
+  // table (depths >= 1) lives on the quantized scenarios, mirroring the
+  // buffer axis where depth 0 is continuous and resolution coarsens with
+  // depth. Recomputed per decision, so it costs L x S divisions — part of
+  // the irreducible root work, never the shared table.
+  root_dl_.resize(L * S);
+  for (size_t l = 0; l < L; ++l) {
+    const double bits = bits_tab_[l];
+    double* row = &root_dl_[l * S];
+    for (size_t s = 0; s < S; ++s) {
+      const double kbps = std::max(1.0, q.scenarios[s].kbps);
+      row[s] = bits / kbps + 0.08;
+    }
+  }
+}
+
+void ViPlanner::fill_dl(double* dl) const {
+  for (size_t d = 0; d < D_; ++d) {
+    for (size_t l = 0; l < L_; ++l) {
+      const double bits = bits_tab_[d * L_ + l];
+      double* row = &dl[(d * L_ + l) * S_];
+      for (size_t s = 0; s < S_; ++s) {
+        const double kbps = std::max(1.0, qscen_[s].kbps);
+        row[s] = bits / kbps + 0.08;
+      }
+    }
+  }
+}
+
+// Continuation value of depths [depth, D) when the buffer sits at
+// `buffer_s` (bucketed here, at depth's own resolution) and the previous
+// chunk played at `prev_level`. Closed-loop: each scenario contributes the
+// value of its *own* post-step buffer, so deeper choices adapt to the
+// realized throughput (the source of the pinned delta vs the open-loop
+// exact planners). A step's contribution uses the same quality/stall
+// decomposition as weighted_step_quality, folded per scenario:
+// w * qn + max(w, 1) * (qv - qn).
+double ViPlanner::value_of(size_t depth, double buffer_s, size_t prev_level) {
+  if (depth >= D_) return 0.0;
+  const double width = width_[depth];
+  const size_t bucket = static_cast<size_t>(buffer_bucket(buffer_s, width));
+  const size_t idx = off_[depth] + bucket * L_ + prev_level;
+  if (filled_ != nullptr) {
+    if (filled_[idx]) return v_cells_[idx];
+  } else if (vstamp_[idx] == round_) {
+    return v_cells_[idx];
+  }
+
+  const double b0 = static_cast<double>(bucket) * width;
+  const double prev_vq = vq_tab_[(depth - 1) * L_ + prev_level];
+  const double w = w_[depth];
+  const double wstall = std::max(w, 1.0);
+  double best = -1e18;
+  for (size_t l = 0; l < L_; ++l) {
+    const double vqv = vq_tab_[depth * L_ + l];
+    const double qn = qn_tab_[(depth * L_ + l) * L_ + prev_level];
+    const double* dl_row = &dl_tab_[(depth * L_ + l) * S_];
+    double acc = 0.0;
+    for (size_t s = 0; s < S_; ++s) {
+      double b = b0;
+      const double dl = dl_row[s];
+      double stall = 0.0;
+      if (dl > b) {
+        stall = dl - b;
+        b = 0.0;
+      } else {
+        b -= dl;
+      }
+      b = std::min(b + tau_, kMaxBufferS);
+      const double qv =
+          stall > 0.0 ? qoe::chunk_quality(vqv, stall, prev_vq, q_->chunk) : qn;
+      acc += prob_[s] * (w * qn + wstall * (qv - qn) + value_of(depth + 1, b, l));
+    }
+    if (acc > best) best = acc;
+  }
+  if (filled_ != nullptr) {
+    filled_[idx] = 1;
+  } else {
+    vstamp_[idx] = round_;
+  }
+  v_cells_[idx] = best;
+  return best;
+}
+
+PlanResult ViPlanner::plan(const PlanQuery& q) {
+  PlanResult result;
+  if (degenerate_plan(q, &result)) return result;
+
+  const auto& video = *q.obs->video;
+  const size_t remaining = q.obs->num_chunks - q.obs->next_chunk;  // > 0 here
+  q_ = &q;
+  D_ = std::min(q.horizon, remaining);
+  L_ = video.ladder().level_count();
+  S_ = q.num_scenarios;
+  tau_ = video.chunk_duration_s();
+
+  // Multi-resolution grid: the root is evaluated at the continuous observed
+  // buffer; depth d >= 1 lives on buckets of width quantum * 2^(d-1). The
+  // dynamics cap the buffer at kMaxBufferS, so its bucket bounds each axis.
+  width_.assign(D_, 0.0);
+  bcount_.assign(D_, 0);
+  off_.assign(D_, 0);
+  cells_ = 0;
+  double wd = quantum_;
+  for (size_t d = 1; d < D_; ++d) {
+    width_[d] = wd;
+    bcount_[d] = static_cast<size_t>(buffer_bucket(kMaxBufferS, wd)) + 1;
+    off_[d] = cells_;
+    cells_ += bcount_[d] * L_;
+    wd *= 2.0;
+  }
+
+  precompute(q, D_);
+
+  if (batch_ != nullptr) {
+    // Shared mode: the whole value table (and the dl rows it was built
+    // from) lives in the batch, keyed by the discretized decision context.
+    // Any session that lands on the same key reuses every filled cell.
+    key_.clear();
+    for (size_t s = 0; s < S_; ++s) {
+      key_.push_back(qscen_[s].kbps);
+      key_.push_back(prob_[s]);
+    }
+    if (q.use_weights) key_.insert(key_.end(), w_.begin(), w_.end());
+    bool created = false;
+    PlanBatch::ViValueTable& vt =
+        batch_->vi_table(video, q.chunk, q.obs->next_chunk, D_, L_, quantum_,
+                         key_.data(), key_.size(), cells_, &created);
+    if (created) {
+      vt.dl.resize(D_ * L_ * S_);
+      fill_dl(vt.dl.data());
+    }
+    dl_tab_ = vt.dl.data();
+    v_cells_ = vt.v.data();
+    filled_ = vt.filled.data();
+  } else {
+    local_dl_.resize(D_ * L_ * S_);
+    fill_dl(local_dl_.data());
+    dl_tab_ = local_dl_.data();
+    if (v_.size() < cells_) {
+      v_.resize(cells_);
+      vstamp_.resize(cells_, 0);
+    }
+    ++round_;  // no cell carries this stamp yet: the table is logically clear
+    v_cells_ = v_.data();
+    filled_ = nullptr;
+  }
+
+  const double w0 = w_[0];
+  const double wstall0 = std::max(w0, 1.0);
+  for (size_t level = 0; level < L_; ++level) {
+    const double vqv = vq_tab_[level];
+    const double qn = root_qn_[level];
+    const double* dl_row = &root_dl_[level * S_];
+    for (size_t si = 0; si < q.num_rebuffer_options; ++si) {
+      const double scheduled = q.rebuffer_options[si];
+      double acc = 0.0;
+      for (size_t s = 0; s < S_; ++s) {
+        double b = q.obs->buffer_s;
+        const double dl = dl_row[s];
+        double stall = 0.0;
+        if (dl > b) {
+          stall = dl - b;
+          b = 0.0;
+        } else {
+          b -= dl;
+        }
+        if (scheduled > 0.0) {
+          b += scheduled;
+          stall += scheduled;
+        }
+        b = std::min(b + tau_, kMaxBufferS);
+        const double qv = stall > 0.0
+                              ? qoe::chunk_quality(vqv, stall, q.prev_visual_quality, q.chunk)
+                              : qn;
+        acc += prob_[s] * (w0 * qn + wstall0 * (qv - qn) + value_of(1, b, level));
+      }
+      // Strict improvement only: level-major, stall-option-minor iteration
+      // reproduces the exact planners' first-strictly-better tie-break.
+      if (acc > result.best_value) {
+        result.best_value = acc;
+        result.best_level = level;
+        result.best_rebuffer_s = scheduled;
+      }
+      if (scheduled == 0.0 && acc > result.nostall_value) {
+        result.nostall_value = acc;
+        result.nostall_level = level;
+      }
+    }
+  }
+  // Drop the borrowed pointers: a detached batch must not leave the planner
+  // dangling into freed tables at the next (unbatched) decide().
+  q_ = nullptr;
+  dl_tab_ = nullptr;
+  v_cells_ = nullptr;
+  filled_ = nullptr;
+  return result;
+}
+
 std::unique_ptr<Planner> make_planner(PlannerKind kind, double dp_buffer_quantum_s) {
   switch (kind) {
     case PlannerKind::kExhaustive:
       return std::make_unique<ExhaustivePlanner>();
+    case PlannerKind::kVi:
+      return std::make_unique<ViPlanner>(dp_buffer_quantum_s);
     case PlannerKind::kDp:
     default:
       return std::make_unique<DpPlanner>(dp_buffer_quantum_s);

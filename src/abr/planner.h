@@ -35,10 +35,39 @@
 // quantum trades exactness for polynomially-bounded state growth
 // (Puffer's unit_buf_length), which is the right regime for horizons
 // beyond ~8 chunks.
+//
+//  - ViPlanner is the throughput planner: Puffer's discretized value
+//    iteration (Yan et al., NSDI'20), taken further on three axes.
+//    (1) The buffer axis is bucketed into `buffer_quantum_s` bins at the
+//    first lookahead step and the bin width doubles with each deeper step
+//    (multi-resolution: the forecast is most uncertain exactly where the
+//    grid is coarsest), so the [depth][dis_buf][level] value table holds a
+//    few hundred cells instead of thousands. (2) The throughput scenarios
+//    themselves are discretized into relative (log-spaced) bins, so nearby
+//    forecasts plan on identical inputs — but only for the lookahead tail:
+//    the root step is always evaluated on the exact forecasts, so the
+//    immediate stall/no-stall tradeoff is never misjudged by a bin that
+//    rounded the throughput up. (3) Values are memoized lazily
+//    from the root — round-stamped, no hashing, zero steady-state
+//    allocation — and, when a PlanBatch is attached, the whole value table
+//    is shared across sessions keyed by (video, chunk, horizon, discretized
+//    scenarios, weights): concurrent viewers with similar forecasts at the
+//    same chunk reuse each other's lookahead instead of re-iterating it.
+//    The relaxation is closed-loop: deeper decisions may adapt to the
+//    throughput scenario realized so far (the exact planners commit to one
+//    open-loop level sequence shared by every scenario), so its values and
+//    occasionally its decisions differ from the exact DP; the accuracy
+//    harness (tests/test_planner_accuracy.cpp) pins the end-to-end QoE
+//    delta at the default quantum. Decide cost is bounded by the (shared)
+//    table size instead of the reachable joint-state fan-out, which is what
+//    makes Fugu viable at fleet scale (see bench_multisession).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/predictor.h"
@@ -50,11 +79,47 @@ namespace sensei::abr {
 enum class PlannerKind {
   kDp,          // memoized reachable-state DP (default)
   kExhaustive,  // reference exhaustive recursion
+  kVi,          // discretized value iteration (Puffer-style, lossy)
 };
 
 // Default buffer discretization for DpPlanner state merging (seconds).
 // 0 = exact (bitwise) merging.
 inline constexpr double kDefaultDpBufferQuantumS = 0.0;
+
+// Default buffer bucket width for ViPlanner (Puffer's UNIT_BUF_LENGTH) at
+// the first lookahead step; the width doubles with each deeper step.
+inline constexpr double kDefaultViBufferQuantumS = 2.0;
+
+// Relative (log2-spaced) throughput discretization for ViPlanner's lookahead
+// tail: scenario kbps snaps to 2^(k / kViKbpsBinsPerOctave) bins (at 0.5
+// bins per octave each bin spans a 4x range), so nearby forecasts plan on
+// identical inputs. The bins are deliberately coarse — tolerable because the
+// root step plans on the *exact* kbps, so discretization error only biases
+// which trajectory the tail prefers, never whether the immediate chunk
+// stalls. This is part of the vi discretization semantics — applied whether
+// or not a PlanBatch is attached, which is what keeps batched and
+// per-session decide() bit-identical — and it is the hook that lets a
+// PlanBatch share whole value tables across sessions whose predictors land
+// in the same bins.
+inline constexpr double kViKbpsBinsPerOctave = 0.5;
+inline double quantize_kbps(double kbps) {
+  const double k = std::max(1.0, kbps);
+  return std::exp2(
+      static_cast<double>(std::llround(std::log2(k) * kViKbpsBinsPerOctave)) /
+      kViKbpsBinsPerOctave);
+}
+
+// The one buffer-discretization rule every planner shares: round to the
+// nearest `quantum_s` bucket with std::llround (round-half-away-from-zero —
+// never floor or a float->int truncation, which disagree around bucket
+// edges and on negative inputs and would split states across platforms).
+// Everything at or below zero — including -0.0, which must not land in a
+// different bucket than +0.0 — maps to bucket 0, matching the dynamics'
+// buffer floor. The caller guarantees quantum_s > 0.
+inline uint64_t buffer_bucket(double buffer_s, double quantum_s) {
+  if (!(buffer_s > 0.0)) return 0;  // negatives, -0.0, NaN -> the floor bucket
+  return static_cast<uint64_t>(std::llround(buffer_s / quantum_s));
+}
 
 // One lookahead request. Pointers reference caller-owned storage and must
 // stay valid for the duration of plan().
@@ -85,6 +150,15 @@ struct PlanResult {
   double nostall_value = -1e18;
 };
 
+// Degenerate queries — an effective horizon of zero (horizon == 0 or no
+// chunks remain), an empty scenario set, or an empty rebuffer_options list —
+// have no decision tree to search, and every planner answers them with the
+// same defined no-op plan instead of leaking the -1e18 sentinel to callers:
+// stay at the observation's current level (clamped into the ladder), sched-
+// ule no rebuffering, value 0 for both the best and the no-stall plan.
+// Returns true (with *out filled) when `query` is degenerate.
+bool degenerate_plan(const PlanQuery& query, PlanResult* out);
+
 // Splits a step's expected quality into its stall-free part (weighted by w)
 // and the stall penalty part (weighted by max(w, 1)): a low sensitivity
 // weight discounts the *quality* of a chunk, never the pain of stalling.
@@ -93,11 +167,92 @@ inline double weighted_step_quality(double w, double expected_q, double expected
   return w * expected_q_nostall + std::max(w, 1.0) * stall_part;
 }
 
+// Cross-session pool of the per-video planning tables that do not depend on
+// a session's predictor state: chunk sizes pre-scaled to the download-time
+// units the planners use, visual qualities, and the no-stall chunk quality
+// for every (chunk, level, previous level) triple. One sim::Simulator run
+// owns one PlanBatch and attaches it to every session's policy
+// (AbrPolicy::attach_plan_batch), so N concurrent Fugu sessions streaming
+// the same ladder build these tables once instead of N times per decision.
+// Tables are built lazily per (video, chunk-quality params) pair and the
+// planners read them through the exact expressions they would otherwise
+// compute locally, so batched and per-session decide() are bit-identical
+// (tests/test_planner_accuracy.cpp pins this). Not thread-safe: a batch
+// belongs to one event loop, never to concurrent ExperimentRunner cells.
+class PlanBatch {
+ public:
+  struct VideoTables {
+    const media::EncodedVideo* video = nullptr;
+    qoe::ChunkQualityParams params;
+    size_t levels = 0;
+    // Flat [chunk * levels + level] rows over the whole video.
+    std::vector<double> bits_kb;  // size_bytes * 8 / 1000 (download time = bits_kb / kbps)
+    std::vector<double> vq;       // visual quality
+    // No-stall chunk quality per previous level, [(chunk * L + level) * L + prev];
+    // rows for chunk 0 are unused (the root step uses the observed prev quality).
+    std::vector<double> qn;
+  };
+
+  // Returns (building on first use) the tables for `video` under `params`.
+  // The reference stays valid for the batch's lifetime.
+  const VideoTables& tables(const media::EncodedVideo& video,
+                            const qoe::ChunkQualityParams& params);
+
+  // One shared discretized-VI value table (ViPlanner). Every cell of the VI
+  // table is root-independent — it depends only on the discretized decision
+  // context (video window, horizon, quantized scenarios, weights, params),
+  // never on the querying session's observed buffer — so once filled a cell
+  // is immutable and any session planning the same context reuses it.
+  struct ViValueTable {
+    // Identity, verified field-for-field on lookup (the hash only routes).
+    const media::EncodedVideo* video = nullptr;
+    qoe::ChunkQualityParams params;
+    size_t next_chunk = 0;
+    size_t depth_count = 0;
+    size_t levels = 0;
+    double quantum = 0.0;
+    // Quantized kbps + probability per scenario, then effective per-depth
+    // weights when the query uses them.
+    std::vector<double> key;
+    // Lazily filled value cells (multi-resolution [depth][bucket][level]
+    // layout, see ViPlanner) and the expected download-time rows
+    // [(d * L + l) * S + s] derived from the quantized scenarios.
+    std::vector<double> v;
+    std::vector<uint8_t> filled;
+    std::vector<double> dl;
+  };
+
+  // Returns the shared VI table for the given discretized context, creating
+  // it (v/filled sized to `cell_count`, zeroed) on first use; `*created`
+  // tells the caller to finish initialization (the dl rows). The reference
+  // stays valid for the batch's lifetime.
+  ViValueTable& vi_table(const media::EncodedVideo& video,
+                         const qoe::ChunkQualityParams& params, size_t next_chunk,
+                         size_t depth_count, size_t levels, double quantum,
+                         const double* key, size_t key_len, size_t cell_count,
+                         bool* created);
+
+  size_t num_videos() const { return tables_.size(); }
+  size_t num_vi_tables() const { return num_vi_tables_; }
+  size_t table_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<VideoTables>> tables_;
+  // Hash routes to a chain; the chain compares full identity, so a hash
+  // collision can never alias two contexts onto one table.
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<ViValueTable>>> vi_tables_;
+  size_t num_vi_tables_ = 0;
+};
+
 class Planner {
  public:
   virtual ~Planner() = default;
   virtual const char* name() const = 0;
   virtual PlanResult plan(const PlanQuery& query) = 0;
+  // Attaches (nullptr detaches) a shared table pool; planners that can read
+  // their static per-video tables from it do, others ignore it. Attaching
+  // never changes any planner's output, only where the tables live.
+  virtual void set_batch(PlanBatch* batch) { (void)batch; }
 };
 
 // The original Fugu recursion, verbatim: the correctness baseline the DP is
@@ -129,6 +284,7 @@ class DpPlanner : public Planner {
 
   const char* name() const override { return "dp"; }
   PlanResult plan(const PlanQuery& query) override;
+  void set_batch(PlanBatch* batch) override { batch_ = batch; }
 
   // Bytes currently owned by the arenas/tables — exposed so tests and
   // benches can assert the steady-state hot path stops allocating.
@@ -155,6 +311,7 @@ class DpPlanner : public Planner {
   void ensure_hash_capacity(size_t min_slots);
 
   double quantum_;
+  PlanBatch* batch_ = nullptr;
 
   // Precomputed per-decision tables (indexed [depth][level][...]).
   std::vector<double> dl_;       // expected download time per scenario
@@ -181,6 +338,85 @@ class DpPlanner : public Planner {
   // live iff stamp_[i] == round_, so no clearing between depths/decisions.
   std::vector<uint64_t> stamp_;
   std::vector<uint32_t> slot_;
+  uint64_t round_ = 0;
+};
+
+// Puffer-style discretized value iteration (see the file header). The
+// lookahead value of (depth, discretized buffer, previous level) is memoized
+// in a flat multi-resolution table — the bucket width starts at quantum_s
+// and doubles with each deeper step. Values are computed lazily from the
+// root, so only buckets actually reachable from the observed buffer are
+// evaluated. Unbatched, the table lives in a local round-stamped arena (a
+// slot is live iff its stamp equals the current decide()'s round — nothing
+// is cleared between decisions, zero steady-state allocation). With a
+// PlanBatch attached, the table is the shared per-context ViValueTable and
+// survives across sessions and decisions: a cache hit reduces decide() to
+// the root evaluation.
+class ViPlanner : public Planner {
+ public:
+  // quantum_s <= 0 selects the default bucket width.
+  explicit ViPlanner(double buffer_quantum_s = kDefaultViBufferQuantumS);
+
+  const char* name() const override { return "vi"; }
+  PlanResult plan(const PlanQuery& query) override;
+  void set_batch(PlanBatch* batch) override { batch_ = batch; }
+
+  double quantum_s() const { return quantum_; }
+  size_t arena_bytes() const;
+
+ private:
+  void precompute(const PlanQuery& q, size_t depth_count);
+  void fill_dl(double* dl) const;
+  double value_of(size_t depth, double buffer_s, size_t prev_level);
+
+  double quantum_;
+  PlanBatch* batch_ = nullptr;
+
+  // Per-decide context (set by plan(), read by value_of).
+  const PlanQuery* q_ = nullptr;
+  size_t D_ = 0, L_ = 0, S_ = 0;
+  double tau_ = 0.0;
+
+  // Multi-resolution grid geometry for depths [1, D): bucket width per
+  // depth, bucket count per depth, and the cell offset of each depth's
+  // [bucket][level] slab in the value table.
+  std::vector<double> width_;
+  std::vector<size_t> bcount_;
+  std::vector<size_t> off_;
+  size_t cells_ = 0;
+
+  // The quantized scenarios (quantize_kbps applied) — the planner's actual
+  // inputs, batched or not — and the cache key they induce.
+  std::vector<net::ThroughputScenario> qscen_;
+  std::vector<double> key_;
+
+  // Static tables for the lookahead window: pointers into the shared
+  // PlanBatch when attached, else into the local_* arenas filled with the
+  // identical values. Layout is [d * L + l] (vq, bits) and
+  // [(d * L + l) * L + p] (qn), d relative to the window start.
+  const double* bits_tab_ = nullptr;
+  const double* vq_tab_ = nullptr;
+  const double* qn_tab_ = nullptr;
+  std::vector<double> local_bits_;
+  std::vector<double> local_vq_;
+  std::vector<double> local_qn_;
+
+  // Per-decide scenario state, SoA so the inner scenario loops stream over
+  // contiguous rows: expected download times per (depth, level) — shared
+  // table rows on a batch hit, else the local arena — and probabilities.
+  const double* dl_tab_ = nullptr;  // [(d * L + l) * S + s]
+  std::vector<double> local_dl_;
+  std::vector<double> prob_;  // [s]
+  std::vector<double> w_;     // per-depth sensitivity weight
+  std::vector<double> root_qn_;
+  std::vector<double> root_dl_;  // depth-0 download times on *exact* kbps
+
+  // Value cells for this decide(): either the shared ViValueTable (filled_
+  // non-null, filled-flag liveness) or the local round-stamped arena.
+  double* v_cells_ = nullptr;
+  uint8_t* filled_ = nullptr;
+  std::vector<double> v_;
+  std::vector<uint64_t> vstamp_;
   uint64_t round_ = 0;
 };
 

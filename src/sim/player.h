@@ -30,6 +30,10 @@
 #include "sim/session.h"
 #include "sim/timeline.h"
 
+namespace sensei::abr {
+class PlanBatch;  // cross-session planning-table pool (abr/planner.h)
+}
+
 namespace sensei::sim {
 
 // What an ABR algorithm sees before choosing the next chunk's rendition.
@@ -69,6 +73,11 @@ class AbrPolicy {
   // Called once per session before the first decision.
   virtual void begin_session(const media::EncodedVideo& video) { (void)video; }
   virtual AbrDecision decide(const AbrObservation& obs) = 0;
+  // Offers (nullptr revokes) a pool of static planning tables shared across
+  // a Simulator run's sessions. Purely an optimization hook: attaching must
+  // never change a policy's decisions, and the caller owning the batch
+  // detaches it before the batch dies. Policies without planners ignore it.
+  virtual void attach_plan_batch(abr::PlanBatch* batch) { (void)batch; }
 };
 
 // Which accounting loop realizes the session timing.
@@ -84,6 +93,10 @@ struct PlayerConfig {
   // Sensitivity look-ahead horizon handed to the ABR (paper picks h = 5).
   size_t weight_horizon = 5;
   TimingEngine engine = TimingEngine::kTimeline;
+  // Multi-session runs only (sim::Simulator): share one abr::PlanBatch of
+  // static planning tables across all sessions' policies for the duration
+  // of the run. Bit-identical output either way; off exists for A/B tests.
+  bool share_plan_tables = true;
 };
 
 class Player {

@@ -82,6 +82,11 @@ class SessionEngine {
   double start_s() const { return start_abs_s_; }
   size_t next_chunk() const { return next_chunk_; }
 
+  // Forwards a shared planning-table pool to the session's policy.
+  // sim::Simulator attaches one batch per run and detaches (nullptr) before
+  // the run returns, so the policy never outlives the tables it reads.
+  void attach_plan_batch(abr::PlanBatch* batch) { policy_->attach_plan_batch(batch); }
+
   // Absolute time of the next self-driven transition; +infinity when done,
   // or while a shared-link transfer is in flight (the link owns that event).
   double next_event_time() const { return next_event_abs_s_; }

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "abr/planner.h"
 #include "net/shared_link.h"
 #include "sim/session_engine.h"
 
@@ -55,6 +56,26 @@ std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& s
       engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, trace,
                                                         *spec.policy, w, spec.start_s));
     }
+  }
+
+  // One pool of static planning tables shared by every session in this run:
+  // N concurrent Fugu sessions on the same ladder build their chunk-size /
+  // quality tables once instead of N times per decision. Attaching never
+  // changes a decision (planners read the exact values they would compute
+  // locally), and the guard detaches on every exit — including the livelock
+  // throw below — so a policy reused after run() never dangles into a dead
+  // batch.
+  abr::PlanBatch batch;
+  struct BatchGuard {
+    std::vector<std::unique_ptr<SessionEngine>>* engines = nullptr;
+    ~BatchGuard() {
+      if (engines == nullptr) return;
+      for (auto& engine : *engines) engine->attach_plan_batch(nullptr);
+    }
+  } batch_guard;
+  if (config_.share_plan_tables) {
+    batch_guard.engines = &engines;
+    for (auto& engine : engines) engine->attach_plan_batch(&batch);
   }
 
   // Lazy min-heap of (transition time, session index): stale entries are

@@ -269,5 +269,120 @@ TEST(PlannerGridDeterminism, GridBitIdenticalAcrossPlannersAndThreads) {
   }
 }
 
+// Degenerate queries — an empty lookahead (horizon 0), an empty forecast
+// (no scenarios), an empty action set (no rebuffer options), or a position
+// at/past the end of the video — must produce the same benign no-op plan
+// from every planner: hold the last level (clamped into the ladder), no
+// scheduled stall, zero value. A -1e18 "no leaf found" sentinel leaking out
+// of any of these was the original bug this pins.
+TEST_F(PlannerEquivalence, DegenerateQueriesNoOpAcrossAllPlanners) {
+  ExhaustivePlanner exhaustive;
+  DpPlanner dp;
+  ViPlanner vi;
+  Planner* planners[] = {&exhaustive, &dp, &vi};
+
+  auto scenarios = net::triangular_scenarios(3, 1800.0, 0.3);
+  const std::vector<double> rebuf = {0.0, 1.0, 2.0};
+  const size_t L = video_.ladder().level_count();
+
+  struct Degenerate {
+    const char* what;
+    size_t horizon;
+    size_t num_scenarios;
+    size_t num_rebuf;
+    size_t next_chunk;
+    size_t last_level;
+  };
+  const Degenerate cases[] = {
+      {"horizon 0", 0, 3, 3, 4, 2},
+      {"no scenarios", 5, 0, 3, 4, 2},
+      {"no rebuffer options", 5, 3, 0, 4, 2},
+      {"past end of video", 5, 3, 3, video_.num_chunks(), 2},
+      {"level clamp", 0, 3, 3, 4, L + 7},
+  };
+  for (const auto& c : cases) {
+    sim::AbrObservation obs;
+    obs.video = &video_;
+    obs.num_chunks = video_.num_chunks();
+    obs.next_chunk = c.next_chunk;
+    obs.buffer_s = 12.0;
+    obs.last_level = c.last_level;
+
+    PlanQuery q;
+    q.obs = &obs;
+    q.scenarios = scenarios.data();
+    q.num_scenarios = c.num_scenarios;
+    q.horizon = c.horizon;
+    q.rebuffer_options = rebuf.data();
+    q.num_rebuffer_options = c.num_rebuf;
+    q.use_weights = false;
+    q.prev_visual_quality = video_.visual_quality(0, 0);
+
+    const size_t expected_level = std::min(c.last_level, L - 1);
+    for (Planner* p : planners) {
+      SCOPED_TRACE(c.what);
+      PlanResult r = p->plan(q);
+      EXPECT_EQ(r.best_level, expected_level);
+      EXPECT_EQ(r.nostall_level, expected_level);
+      EXPECT_DOUBLE_EQ(r.best_rebuffer_s, 0.0);
+      EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+      EXPECT_DOUBLE_EQ(r.nostall_value, 0.0);
+    }
+  }
+}
+
+// The shared bucketing helper is the single point where every planner's
+// buffer discretization happens; its edge behavior (signed zero, negatives,
+// NaN, half-bucket edges) is what keeps quantized state keys from splitting
+// identical states across platforms.
+TEST(BufferBucket, EdgeCases) {
+  // Everything at or below zero collapses to bucket 0 — including -0.0 and
+  // NaN (the !(x > 0) form is deliberate).
+  EXPECT_EQ(buffer_bucket(0.0, 0.25), 0u);
+  EXPECT_EQ(buffer_bucket(-0.0, 0.25), 0u);
+  EXPECT_EQ(buffer_bucket(-3.7, 0.25), 0u);
+  EXPECT_EQ(buffer_bucket(std::nan(""), 0.25), 0u);
+
+  // Round-half-away-from-zero (llround), not floor/truncation: 0.124 of a
+  // 0.25 bucket rounds down, 0.126 rounds up, and the 0.125 edge goes up.
+  EXPECT_EQ(buffer_bucket(0.124, 0.25), 0u);
+  EXPECT_EQ(buffer_bucket(0.125, 0.25), 1u);
+  EXPECT_EQ(buffer_bucket(0.126, 0.25), 1u);
+  EXPECT_EQ(buffer_bucket(0.374, 0.25), 1u);
+  EXPECT_EQ(buffer_bucket(0.376, 0.25), 2u);
+
+  // Exact multiples land on their own bucket at any quantum.
+  for (double quantum : {0.25, 0.5, 2.0}) {
+    for (uint64_t k = 1; k <= 120; ++k) {
+      EXPECT_EQ(buffer_bucket(static_cast<double>(k) * quantum, quantum), k)
+          << "k=" << k << " quantum=" << quantum;
+    }
+  }
+}
+
+// quantize_kbps defines the vi tail's forecast bins (and so the PlanBatch
+// table key). It must be idempotent, monotone non-decreasing, and clamp the
+// degenerate low end to 1 kbps.
+TEST(QuantizeKbps, BinSanity) {
+  // The sub-1 range collapses to the 1 kbps fixed point.
+  EXPECT_DOUBLE_EQ(quantize_kbps(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_kbps(-50.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_kbps(1.0), 1.0);
+
+  double prev = 0.0;
+  for (double k = 1.0; k < 50000.0; k *= 1.07) {
+    const double b = quantize_kbps(k);
+    // Idempotent: a bin center maps to itself.
+    EXPECT_DOUBLE_EQ(quantize_kbps(b), b) << "k=" << k;
+    // Monotone non-decreasing in the input.
+    EXPECT_GE(b, prev) << "k=" << k;
+    // Relative error bounded by half a bin in log space.
+    const double half_bin = std::exp2(0.5 / kViKbpsBinsPerOctave);
+    EXPECT_LE(b / k, half_bin) << "k=" << k;
+    EXPECT_GE(b / k, 1.0 / half_bin) << "k=" << k;
+    prev = b;
+  }
+}
+
 }  // namespace
 }  // namespace sensei::abr
