@@ -1,0 +1,223 @@
+// Fleet-scale bench: how many sessions/s the sharded multi-bottleneck
+// FleetSimulator sustains, at what peak memory, and the determinism rows
+// that make the numbers trustworthy. Emits machine-readable
+// BENCH_fleet.json (schema in bench/README.md).
+//
+//   ./bench_fleet                    full sweep, headline >= 1,000,000 sessions
+//   ./bench_fleet --smoke            reduced sweep for CI (~seconds)
+//   ./bench_fleet --out FILE         JSON destination
+//   ./bench_fleet --threads N        ExperimentRunner pool size
+//   ./bench_fleet --shards N         cells per fan-out block (0 = one per cell)
+//   ./bench_fleet --cells N          override the headline scenario's cell count
+//   ./bench_fleet --baseline FILE    validate a pinned JSON's schema
+//
+// Two kinds of output lines:
+//  - "fleet ..." rows: per-scenario aggregates printed with %.9g and no
+//    timing — CI diffs these byte-for-byte across --threads 1/4 and across
+//    --shards values (the fleet's bit-identity contract, also pinned by
+//    tests/test_fleet.cpp).
+//  - "perf ..." rows: wall time, sessions/s, and peak RSS — informational,
+//    never diffed.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "sim/fleet.h"
+
+using namespace sensei;
+
+namespace {
+
+// Parses `--shards N` / `--cells N`: non-negative integers, 0 = automatic.
+size_t count_arg(int argc, char** argv, const char* flag, size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      char* end = nullptr;
+      long n = (i + 1 < argc) ? std::strtol(argv[i + 1], &end, 10) : -1;
+      if (i + 1 >= argc || end == argv[i + 1] || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: %s requires a non-negative integer\n", flag);
+        std::exit(2);
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+  return fallback;
+}
+
+// Peak resident set size in MiB, from /proc/self/status VmHWM (Linux).
+// Returns 0 where the file or the field is unavailable.
+double peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
+
+struct Scenario {
+  std::string name;
+  sim::FleetConfig config;
+};
+
+struct Row {
+  std::string name;
+  sim::FleetAggregates agg;
+  double wall_s = 0.0;
+  double rss_mib = 0.0;  // VmHWM after the scenario ran
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::check_flags(argc, argv, {"--out", "--threads", "--shards", "--cells", "--baseline"},
+                     {"--smoke"},
+                     "bench_fleet [--smoke] [--out FILE] [--threads N] [--shards N] "
+                     "[--cells N] [--baseline FILE]");
+  const bool smoke = bench::smoke_arg(argc, argv);
+  const std::string out_path = bench::out_arg(argc, argv, "BENCH_fleet.json");
+  const std::string baseline_path = bench::baseline_arg(argc, argv);
+  if (!baseline_path.empty()) {
+    bench::check_baseline_fields(baseline_path, 1,
+                                 {"\"sessions_per_s\"", "\"peak_rss_mib\"", "\"qoe_p99\"",
+                                  "\"total_sessions\"", "\"peak_concurrent\""});
+  }
+  const size_t num_shards = count_arg(argc, argv, "--shards", 0);
+  const size_t cells_override = count_arg(argc, argv, "--cells", 0);
+  core::ExperimentRunner runner(bench::threads_arg(argc, argv));
+
+  // Shared video pool: four genres, 120 s each (30 chunks), the same shape
+  // the multisession bench streams.
+  media::Encoder encoder;
+  std::vector<media::EncodedVideo> videos;
+  const media::Genre genres[] = {media::Genre::kSports, media::Genre::kNature,
+                                 media::Genre::kGaming, media::Genre::kAnimation};
+  for (size_t i = 0; i < 4; ++i) {
+    videos.push_back(encoder.encode(
+        media::SourceVideo::generate("Fleet" + std::to_string(i), genres[i], 120.0)));
+  }
+  std::vector<const media::EncodedVideo*> video_ptrs;
+  for (const auto& v : videos) video_ptrs.push_back(&v);
+
+  // Scenarios. Sessions per cell ~ arrival_rate * window (diurnal thins
+  // below that); the headline scenario's cell count is sized so the fleet
+  // streams >= 1,000,000 sessions end to end.
+  std::vector<Scenario> scenarios;
+  auto add = [&](const char* name, size_t cells, sim::ArrivalProcess arrivals,
+                 double rate, double window_s) {
+    Scenario s;
+    s.name = name;
+    s.config.num_cells = cells;
+    s.config.seed = 90210;
+    s.config.workload.arrivals = arrivals;
+    s.config.workload.arrival_rate_per_s = rate;
+    s.config.workload.arrival_window_s = window_s;
+    scenarios.push_back(std::move(s));
+  };
+  if (smoke) {
+    add("smoke-poisson", 6, sim::ArrivalProcess::kPoisson, 0.3, 120.0);
+    add("smoke-diurnal", 8, sim::ArrivalProcess::kDiurnal, 0.5, 150.0);
+  } else {
+    add("city", 64, sim::ArrivalProcess::kPoisson, 0.5, 600.0);
+    add("region", 512, sim::ArrivalProcess::kDiurnal, 0.5, 600.0);
+    // ~480 sessions/cell * 2200 cells ~ 1.05M sessions.
+    size_t headline_cells = cells_override != 0 ? cells_override : 2200;
+    add("million", headline_cells, sim::ArrivalProcess::kPoisson, 0.8, 600.0);
+  }
+
+  std::printf("bench_fleet: %zu thread(s), shards=%zu (0 = one per cell)\n\n",
+              runner.num_threads(), num_shards);
+
+  std::vector<Row> rows;
+  for (const Scenario& scenario : scenarios) {
+    sim::FleetSimulator fleet(scenario.config);
+    double start = bench::now_s();
+    Row row;
+    row.name = scenario.name;
+    row.agg = fleet.run(video_ptrs, runner, num_shards);
+    row.wall_s = bench::now_s() - start;
+    row.rss_mib = peak_rss_mib();
+
+    const sim::FleetAggregates& a = row.agg;
+    // Determinism row: aggregates only, full precision, no timing. CI diffs
+    // these across thread and shard counts.
+    std::printf(
+        "fleet name=%s cells=%zu sessions=%zu chunks=%zu outages=%zu abandoned=%zu "
+        "peak=%zu bba=%zu rate=%zu fugu=%zu qoe_mean=%.9g qoe_p50=%.9g qoe_p90=%.9g "
+        "qoe_p99=%.9g bitrate=%.9g rebuffer=%.9g startup=%.9g\n",
+        row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
+        a.peak_concurrent, a.sessions_by_policy[0], a.sessions_by_policy[1],
+        a.sessions_by_policy[2], a.session_qoe.mean(), a.qoe_sketch.quantile(0.5),
+        a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
+        a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
+        a.startup_delay_s.mean());
+    std::printf("perf  name=%s wall_s=%.3f sessions_per_s=%.0f chunks_per_s=%.0f "
+                "peak_rss_mib=%.1f\n\n",
+                row.name.c_str(), row.wall_s,
+                static_cast<double>(a.sessions) / row.wall_s,
+                static_cast<double>(a.chunks) / row.wall_s, row.rss_mib);
+    rows.push_back(std::move(row));
+  }
+
+  // ---- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  size_t total_sessions = 0;
+  double peak_rate = 0.0;
+  double max_rss = 0.0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fleet\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"config\": {\"threads\": %zu, \"shards\": %zu},\n",
+               runner.num_threads(), num_shards);
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const sim::FleetAggregates& a = row.agg;
+    double rate = static_cast<double>(a.sessions) / row.wall_s;
+    total_sessions += a.sessions;
+    peak_rate = std::max(peak_rate, rate);
+    max_rss = std::max(max_rss, row.rss_mib);
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"cells\": %zu, \"sessions\": %zu, \"chunks\": %zu, "
+        "\"outages\": %zu, \"abandoned\": %zu, \"peak_concurrent\": %zu, "
+        "\"sessions_by_policy\": {\"bba\": %zu, \"rate_based\": %zu, \"fugu_vi\": %zu}, "
+        "\"qoe_mean\": %.6f, \"qoe_p50\": %.6f, \"qoe_p90\": %.6f, \"qoe_p99\": %.6f, "
+        "\"bitrate_mean_kbps\": %.3f, \"rebuffer_mean_s\": %.6f, "
+        "\"startup_mean_s\": %.6f, \"wall_s\": %.3f, \"sessions_per_s\": %.1f, "
+        "\"chunks_per_s\": %.0f, \"peak_rss_mib\": %.1f}%s\n",
+        row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
+        a.peak_concurrent, a.sessions_by_policy[0], a.sessions_by_policy[1],
+        a.sessions_by_policy[2], a.session_qoe.mean(), a.qoe_sketch.quantile(0.5),
+        a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
+        a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
+        a.startup_delay_s.mean(), row.wall_s, rate,
+        static_cast<double>(a.chunks) / row.wall_s, row.rss_mib,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"summary\": {\"total_sessions\": %zu, \"peak_sessions_per_s\": %.1f, "
+               "\"peak_rss_mib\": %.1f}\n",
+               total_sessions, peak_rate, max_rss);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (total sessions %zu)\n", out_path.c_str(), total_sessions);
+  return 0;
+}

@@ -274,8 +274,9 @@ int main(int argc, char** argv) {
         }
         policy_ptrs.push_back(policies.back().get());
       }
-      auto specs =
-          sim::staggered_specs(video_ptrs, policy_ptrs, {}, scenario.sessions, stagger_s);
+      auto specs = sim::StaggeredSpecs{video_ptrs, policy_ptrs, {}, scenario.sessions,
+                                       stagger_s}
+                       .build();
       double start = bench::now_s();
       auto results = sim::Simulator().run(specs, bottleneck, sim::LinkMode::kShared);
       double wall = bench::now_s() - start;

@@ -211,8 +211,9 @@ std::vector<std::vector<sim::MultiSessionResult>> Experiments::run_multisession_
       policies.push_back(make_policy());
       policy_ptrs.push_back(policies.back().get());
     }
-    auto specs = sim::staggered_specs(video_ptrs, policy_ptrs, weight_ptrs,
-                                      cell.num_sessions, cell.stagger_s);
+    auto specs = sim::StaggeredSpecs{video_ptrs, policy_ptrs, weight_ptrs,
+                                     cell.num_sessions, cell.stagger_s}
+                     .build();
     out[c] = sim::Simulator(config).run(specs, trace_set[cell.trace_index], cell.mode);
   });
   return out;

@@ -20,8 +20,22 @@ constexpr double kFinishEpsBits = 1.0;
 
 }  // namespace
 
-SharedLink::SharedLink(const ThroughputTrace& trace) : trace_(&trace) {
+SharedLink::SharedLink(const ThroughputTrace& trace, bool recycle_ids)
+    : trace_(&trace), recycle_ids_(recycle_ids) {
   trace.index();  // fail fast on a default-constructed trace
+}
+
+// Min-heap ordering: std::push_heap/pop_heap build a max-heap under the
+// comparator, so reversing Credit's operator< puts the smallest
+// (finish_credit, id) at the front — completions pop in exactly the order
+// the previous sorted-set code produced, join order breaking ties.
+namespace {
+constexpr auto kCreditAfter = [](const auto& a, const auto& b) { return b < a; };
+}  // namespace
+
+void SharedLink::pop_min_credit() {
+  std::pop_heap(credits_.begin(), credits_.end(), kCreditAfter);
+  credits_.pop_back();
 }
 
 double SharedLink::cumulative_bits(double t) const {
@@ -58,15 +72,27 @@ size_t SharedLink::begin(double bytes, double start_s) {
   transfer.total_bits = bytes * 8.0;
   transfer.joined_drained_bits = drained_bits_;
   transfer.finish_credit = transfer.total_bits + drained_bits_;
-  size_t id = transfers_.size();
-  transfers_.push_back(transfer);
-  credits_.insert({transfer.finish_credit, id});
+  size_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    transfers_[id] = transfer;
+  } else {
+    id = transfers_.size();
+    transfers_.push_back(transfer);
+    // With recycling, clear_completions pushes onto free_ids_ long after the
+    // growth phase; give it its worst-case capacity (every id free) now so
+    // the release path never allocates in steady state.
+    if (recycle_ids_) free_ids_.reserve(transfers_.size());
+  }
+  credits_.push_back({transfer.finish_credit, id});
+  std::push_heap(credits_.begin(), credits_.end(), kCreditAfter);
   return id;
 }
 
 double SharedLink::next_completion_s() const {
   if (credits_.empty()) return kInf;
-  double min_remaining = credits_.begin()->finish_credit - drained_bits_;
+  double min_remaining = min_credit().finish_credit - drained_bits_;
   if (min_remaining <= kFinishEpsBits) return now_s_;
   // Equal split: everyone drains at capacity / n, so the next finisher needs
   // the link to deliver its remaining bits times the active count.
@@ -77,7 +103,15 @@ double SharedLink::next_completion_s() const {
 }
 
 void SharedLink::advance_to(double t) {
-  if (t < now_s_) throw std::runtime_error("shared link: time may not run backwards");
+  // Engine event times are start + accumulated per-chunk deltas, so they can
+  // land an ulp before the link's absolutely-indexed clock. Tolerate the
+  // same relative drift begin() accepts; a real backwards step still throws.
+  if (t < now_s_) {
+    if (now_s_ - t > 1e-9 * std::max(1.0, std::abs(now_s_))) {
+      throw std::runtime_error("shared link: time may not run backwards");
+    }
+    t = now_s_;
+  }
   if (t > now_s_) {
     if (!credits_.empty()) {
       double delta_bits = cumulative_bits(t) - cumulative_bits(now_s_);
@@ -85,21 +119,31 @@ void SharedLink::advance_to(double t) {
     }
     now_s_ = t;
   }
-  while (!credits_.empty() &&
-         credits_.begin()->finish_credit - drained_bits_ <= kFinishEpsBits) {
-    size_t id = credits_.begin()->id;
-    credits_.erase(credits_.begin());
+  while (!credits_.empty() && min_credit().finish_credit - drained_bits_ <= kFinishEpsBits) {
+    size_t id = min_credit().id;
+    pop_min_credit();
     transfers_[id].finished = true;
     transfers_[id].finish_s = now_s_;
     completions_.push_back({id, now_s_});
   }
 }
 
-std::vector<SharedLink::Completion> SharedLink::take_completions() {
-  std::vector<Completion> out = std::move(completions_);
-  completions_.clear();
-  std::sort(out.begin(), out.end(),
+const std::vector<SharedLink::Completion>& SharedLink::completions_sorted() {
+  std::sort(completions_.begin(), completions_.end(),
             [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  return completions_;
+}
+
+void SharedLink::clear_completions() {
+  if (recycle_ids_) {
+    for (const Completion& c : completions_) free_ids_.push_back(c.id);
+  }
+  completions_.clear();
+}
+
+std::vector<SharedLink::Completion> SharedLink::take_completions() {
+  std::vector<Completion> out = completions_sorted();
+  clear_completions();
   return out;
 }
 

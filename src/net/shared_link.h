@@ -21,10 +21,11 @@
 // transfer drains at the same bits/s, so the relative order of their
 // remaining bits never changes between membership events. Each transfer is
 // therefore booked once, at join time, as a *finish credit* (bits remaining
-// + bits already drained per transfer); the ordered credit set plus one
-// global drained-bits accumulator answer "who finishes next" and "how much
-// has everyone received" in O(log n) per event, with no per-transfer update
-// on the hot path.
+// + bits already drained per transfer); a credit min-heap plus one global
+// drained-bits accumulator answer "who finishes next" and "how much has
+// everyone received" in O(log n) per event, with no per-transfer update on
+// the hot path and no allocation once the backing vectors reach the link's
+// peak concurrency.
 //
 // The link is a passive integrator: a driver (sim::Simulator) advances it
 // through time with advance_to(), never past next_completion_s(), and joins
@@ -33,7 +34,6 @@
 #pragma once
 
 #include <cstddef>
-#include <set>
 #include <vector>
 
 #include "net/trace.h"
@@ -43,7 +43,13 @@ namespace sensei::net {
 class SharedLink {
  public:
   // `trace` must outlive the link. Time 0 of the link is time 0 of the trace.
-  explicit SharedLink(const ThroughputTrace& trace);
+  // With `recycle_ids` the link reuses the ids of transfers whose completion
+  // has been drained (take_completions / clear_completions), so per-transfer
+  // bookkeeping is bounded by peak concurrency instead of total transfer
+  // count — the fleet-scale memory model. view(id) then describes the id's
+  // *current* occupant, so diagnostics that read finished transfers after
+  // the fact should leave recycling off (the default).
+  explicit SharedLink(const ThroughputTrace& trace, bool recycle_ids = false);
 
   const ThroughputTrace& trace() const { return *trace_; }
   double now_s() const { return now_s_; }
@@ -67,11 +73,18 @@ class SharedLink {
   // link.
   void advance_to(double t);
 
-  // Completions recorded since the last call, in join (id) order.
+  // Completions recorded since the last drain, in join (id) order.
   struct Completion {
     size_t id = 0;
     double finish_s = 0.0;
   };
+  // Allocation-free drain pair for event-loop drivers: the returned view is
+  // valid until the next advance_to/begin/clear_completions, and the clear
+  // keeps the buffer's capacity (and, with recycle_ids, frees the drained
+  // ids for reuse).
+  const std::vector<Completion>& completions_sorted();
+  void clear_completions();
+  // Convenience drain returning an owned copy (clears, as above).
   std::vector<Completion> take_completions();
 
   // Per-transfer accounting for tests and diagnostics.
@@ -91,6 +104,10 @@ class SharedLink {
  private:
   // Remaining bits of an active transfer = credit - drained_bits_: the
   // credit is fixed at join, the accumulator advances for everyone at once.
+  // Kept in a binary min-heap over (finish_credit, id) — same completion
+  // order a sorted set would give (ties pop in join order), but the backing
+  // vector's capacity is reused, so the per-join hot path never allocates
+  // once the link has seen its peak concurrency.
   struct Credit {
     double finish_credit = 0.0;
     size_t id = 0;
@@ -108,12 +125,17 @@ class SharedLink {
     double finish_s = 0.0;
   };
 
+  const Credit& min_credit() const { return credits_.front(); }
+  void pop_min_credit();
+
   const ThroughputTrace* trace_ = nullptr;
+  bool recycle_ids_ = false;
   double now_s_ = 0.0;
   // Per-transfer share of capacity drained since the link began (bits).
   double drained_bits_ = 0.0;
-  std::set<Credit> credits_;         // active transfers, next finisher first
-  std::vector<Transfer> transfers_;  // all transfers ever, indexed by id
+  std::vector<Credit> credits_;      // binary min-heap, next finisher at front
+  std::vector<Transfer> transfers_;  // indexed by id (bounded when recycling)
+  std::vector<size_t> free_ids_;     // drained ids awaiting reuse (recycle_ids_)
   std::vector<Completion> completions_;
 };
 

@@ -1,0 +1,294 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "abr/bba.h"
+#include "abr/fugu.h"
+#include "abr/planner.h"
+#include "abr/rate_based.h"
+#include "core/runner.h"
+#include "net/shared_link.h"
+#include "qoe/chunk_quality.h"
+#include "sim/event_queue.h"
+#include "sim/session_engine.h"
+
+namespace sensei::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Fleet sessions carry no sensitivity weights; one shared empty vector
+// keeps reset() reference-valid without per-session storage.
+const std::vector<double> kNoWeights;
+
+std::unique_ptr<AbrPolicy> make_policy(WorkloadPolicy kind) {
+  switch (kind) {
+    case WorkloadPolicy::kBba: return std::make_unique<abr::BbaAbr>();
+    case WorkloadPolicy::kRateBased: return std::make_unique<abr::RateBasedAbr>();
+    case WorkloadPolicy::kFuguVi: {
+      abr::FuguConfig fc;
+      fc.planner = abr::PlannerKind::kVi;  // the fleet-scale planner mode
+      return std::make_unique<abr::FuguAbr>(fc);
+    }
+  }
+  throw std::runtime_error("fleet: unknown workload policy");
+}
+
+}  // namespace
+
+void FleetAggregates::merge(const FleetAggregates& other) {
+  cells += other.cells;
+  sessions += other.sessions;
+  chunks += other.chunks;
+  outages += other.outages;
+  abandoned += other.abandoned;
+  for (size_t k = 0; k < 3; ++k) sessions_by_policy[k] += other.sessions_by_policy[k];
+  peak_concurrent = std::max(peak_concurrent, other.peak_concurrent);
+  session_qoe.merge(other.session_qoe);
+  session_bitrate_kbps.merge(other.session_bitrate_kbps);
+  session_rebuffer_s.merge(other.session_rebuffer_s);
+  startup_delay_s.merge(other.startup_delay_s);
+  qoe_sketch.merge(other.qoe_sketch);
+}
+
+FleetSimulator::FleetSimulator(FleetConfig config) : config_(std::move(config)) {
+  if (config_.num_cells == 0) throw std::runtime_error("fleet: need at least one cell");
+  if (config_.link_scale < 0.0) throw std::runtime_error("fleet: link scale must be >= 0");
+  // Fail config mistakes at construction, not on worker threads mid-run:
+  // the generator's constructor runs the full validation suite. num_videos
+  // is excluded — run() overrides it with the actual pool size.
+  WorkloadConfig probe_config = config_.workload;
+  probe_config.num_videos = 1;
+  WorkloadGenerator probe(probe_config, 0);
+  (void)probe;
+}
+
+FleetAggregates FleetSimulator::run(const std::vector<const media::EncodedVideo*>& videos,
+                                    const core::ExperimentRunner& runner,
+                                    size_t num_shards) const {
+  if (videos.empty()) throw std::runtime_error("fleet: empty video pool");
+  for (const media::EncodedVideo* v : videos) {
+    if (v == nullptr) throw std::runtime_error("fleet: null video in pool");
+  }
+  const size_t cells = config_.num_cells;
+  if (num_shards == 0 || num_shards > cells) num_shards = cells;
+
+  // Per-cell aggregates land at their cell index; shards are contiguous
+  // blocks. Neither the thread count nor the shard count can change what
+  // any cell computes or the serial fold below — the bit-identity contract.
+  std::vector<FleetAggregates> per_cell(cells);
+  runner.for_each(num_shards, [&](size_t shard) {
+    size_t begin = shard * cells / num_shards;
+    size_t end = (shard + 1) * cells / num_shards;
+    for (size_t c = begin; c < end; ++c) per_cell[c] = run_cell(c, videos);
+  });
+
+  FleetAggregates total;
+  for (const FleetAggregates& cell : per_cell) total.merge(cell);
+  return total;
+}
+
+FleetAggregates FleetSimulator::run_cell(
+    size_t cell, const std::vector<const media::EncodedVideo*>& videos) const {
+  WorkloadConfig workload = config_.workload;
+  workload.num_videos = videos.size();
+  const uint64_t cell_seed = core::ExperimentRunner::task_seed(config_.seed, cell);
+  WorkloadGenerator gen(workload, cell_seed);
+
+  // Bottleneck capacity: the generated trace carries a per-viewer-scale
+  // mean; scale it to the cell's expected concurrency (Little's law over
+  // the mean video duration) unless the config fixes the factor.
+  double link_scale = config_.link_scale;
+  if (link_scale == 0.0) {
+    double mean_duration_s = 0.0;
+    for (const media::EncodedVideo* v : videos) {
+      mean_duration_s += static_cast<double>(v->num_chunks()) * v->chunk_duration_s();
+    }
+    mean_duration_s /= static_cast<double>(videos.size());
+    link_scale = std::max(1.0, workload.arrival_rate_per_s * mean_duration_s);
+  }
+  const std::string cell_name = "fleet-cell-" + std::to_string(cell);
+  net::ThroughputTrace trace = gen.make_trace(cell_name).scaled(link_scale, cell_name);
+  net::SharedLink link(trace, /*recycle_ids=*/true);
+
+  FleetAggregates agg;
+  agg.cells = 1;
+  const qoe::ChunkQualityParams qoe_params;
+
+  // Session slots: engine + bound policy, recycled across sessions. All
+  // vectors below grow to the cell's peak concurrency and stay there.
+  struct Slot {
+    std::unique_ptr<SessionEngine> engine;  // constructed on first use, reset() after
+    std::unique_ptr<AbrPolicy> policy;
+    SessionArrival arrival;
+  };
+  std::vector<Slot> slots;
+  std::vector<size_t> free_slots;
+  std::vector<std::unique_ptr<AbrPolicy>> policy_pool[3];
+  abr::PlanBatch batch;
+  EventQueue events;
+  std::vector<size_t> transfer_owner;  // transfer id -> slot (ids recycled)
+
+  size_t active = 0;
+
+  auto admit = [&](const SessionArrival& a) -> size_t {
+    size_t idx;
+    if (!free_slots.empty()) {
+      idx = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      idx = slots.size();
+      slots.emplace_back();
+      // Release paths (retire) must not allocate in steady state, so the
+      // free lists get their worst-case capacity (every slot released) here
+      // in the growth phase.
+      free_slots.reserve(slots.size());
+      for (auto& pool : policy_pool) pool.reserve(slots.size());
+    }
+    Slot& slot = slots[idx];
+    slot.arrival = a;
+    auto& pool = policy_pool[static_cast<size_t>(a.policy)];
+    if (!pool.empty()) {
+      slot.policy = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      slot.policy = make_policy(a.policy);
+    }
+    if (config_.player.share_plan_tables) slot.policy->attach_plan_batch(&batch);
+    const media::EncodedVideo& video = *videos[a.video_index];
+    if (slot.engine == nullptr) {
+      slot.engine = std::make_unique<SessionEngine>(config_.player, video, link,
+                                                    *slot.policy, kNoWeights, a.start_s);
+      slot.engine->set_chunk_limit(a.chunk_limit);
+    } else {
+      slot.engine->reset(video, link, *slot.policy, kNoWeights, a.start_s, a.chunk_limit);
+    }
+    ++active;
+    agg.peak_concurrent = std::max(agg.peak_concurrent, active);
+    return idx;
+  };
+
+  auto retire = [&](size_t idx) {
+    Slot& slot = slots[idx];
+    const SessionEngine& engine = *slot.engine;
+    const std::vector<ChunkRecord>& recs = engine.records();
+
+    ++agg.sessions;
+    agg.chunks += recs.size();
+    ++agg.sessions_by_policy[static_cast<size_t>(slot.arrival.policy)];
+    const media::EncodedVideo& video = *videos[slot.arrival.video_index];
+    if (engine.outcome() == SessionOutcome::kOutage) {
+      ++agg.outages;
+    } else if (recs.size() < video.num_chunks()) {
+      ++agg.abandoned;
+    }
+    if (!recs.empty()) {
+      double qoe_sum = 0.0, bitrate_sum = 0.0;
+      for (size_t i = 0; i < recs.size(); ++i) {
+        double prev_vq = i > 0 ? recs[i - 1].visual_quality : recs[i].visual_quality;
+        qoe_sum +=
+            qoe::chunk_quality(recs[i].visual_quality, recs[i].rebuffer_s, prev_vq, qoe_params);
+        bitrate_sum += recs[i].bitrate_kbps;
+      }
+      double mean_qoe = qoe_sum / static_cast<double>(recs.size());
+      agg.session_qoe.add(mean_qoe);
+      agg.qoe_sketch.add(mean_qoe);
+      agg.session_bitrate_kbps.add(bitrate_sum / static_cast<double>(recs.size()));
+      agg.session_rebuffer_s.add(engine.total_stall_s());
+      agg.startup_delay_s.add(engine.startup_delay_s());
+    }
+    if (config_.on_session_done) config_.on_session_done(cell, slot.arrival, engine);
+
+    policy_pool[static_cast<size_t>(slot.arrival.policy)].push_back(std::move(slot.policy));
+    free_slots.push_back(idx);
+    --active;
+  };
+
+  auto record_join = [&](size_t idx) {
+    if (slots[idx].engine->state() != SessionEngine::State::kTransferring) return;
+    size_t id = slots[idx].engine->transfer_id();
+    if (transfer_owner.size() <= id) transfer_owner.resize(id + 1, 0);
+    transfer_owner[id] = idx;
+  };
+
+  // The sim::Simulator event loop plus an arrival stream: completions land
+  // first, then every arrival at t is admitted (its first event is at t),
+  // then every engine transition scheduled at t runs in slot order.
+  SessionArrival pending;
+  bool have_pending = gen.next(&pending);
+  double prev_t = -kInf;
+  bool prev_was_noop = false;
+  while (active > 0 || have_pending) {
+    double t = std::min(events.min_time(), link.next_completion_s());
+    if (have_pending) t = std::min(t, pending.start_s);
+
+    if (t == kInf) {
+      // Dead link, no arrivals left: every active session is stuck on a
+      // transfer the link can never deliver. Outage-truncate, slot order.
+      for (size_t idx = 0; idx < slots.size(); ++idx) {
+        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
+            !slots[idx].engine->done()) {
+          slots[idx].engine->fail_transfer();
+          retire(idx);
+        }
+      }
+      break;
+    }
+
+    size_t processed = 0;
+    link.advance_to(t);
+    for (const net::SharedLink::Completion& completion : link.completions_sorted()) {
+      ++processed;
+      size_t idx = transfer_owner[completion.id];
+      slots[idx].engine->complete_transfer(completion.finish_s);
+      if (slots[idx].engine->done()) {
+        events.update(idx, kInf);
+        retire(idx);
+      } else {
+        events.update(idx, slots[idx].engine->next_event_time());
+      }
+    }
+    link.clear_completions();
+
+    while (have_pending && pending.start_s <= t) {
+      size_t idx = admit(pending);
+      events.update(idx, slots[idx].engine->next_event_time());
+      have_pending = gen.next(&pending);
+      ++processed;
+    }
+
+    while (!events.empty() && events.min_time() <= t) {
+      size_t idx = events.min_index();
+      slots[idx].engine->advance_to(t);
+      ++processed;
+      events.update(idx, slots[idx].engine->next_event_time());
+      if (slots[idx].engine->done()) {
+        retire(idx);
+      } else {
+        record_join(idx);
+      }
+    }
+
+    // Livelock sentinel, as in sim::Simulator: one no-op instant is legal
+    // (an epsilon-short completion estimate), two in a row can never resolve.
+    if (processed == 0 && prev_was_noop && t == prev_t) {
+      throw std::runtime_error("fleet: cell " + std::to_string(cell) +
+                               " event loop stalled at t=" + std::to_string(t));
+    }
+    prev_was_noop = processed == 0;
+    prev_t = t;
+  }
+
+  // Detach the shared planning tables before the batch dies with the cell.
+  for (auto& pool : policy_pool) {
+    for (auto& policy : pool) policy->attach_plan_batch(nullptr);
+  }
+  return agg;
+}
+
+}  // namespace sensei::sim

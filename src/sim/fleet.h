@@ -1,0 +1,125 @@
+// Fleet simulator: a sharded multi-bottleneck topology of independent
+// SharedLink cells, sized for million-session populations.
+//
+// Topology. A CDN-scale deployment is not one bottleneck with N viewers —
+// it is thousands of edge bottlenecks (a cell: one last-mile/edge link)
+// each contending among the handful-to-hundreds of viewers behind it. A
+// FleetSimulator run is `num_cells` such cells; each cell owns a seeded
+// workload stream (sim/workload.h), its own generated bottleneck trace, and
+// its own discrete-event loop (the sim::Simulator loop plus arrivals), all
+// derived from ExperimentRunner::task_seed(seed, cell) — a cell is a pure
+// function of (config, videos, cell index).
+//
+// Scale discipline (what makes a million sessions fit):
+//  - engines are pooled: a finished session's SessionEngine is reset() to
+//    the next arrival instead of destroyed — with record_timeline off, the
+//    steady-state event loop performs zero allocations (pinned by
+//    tests/test_fleet_alloc.cpp);
+//  - policies are pooled per ABR kind the same way (begin_session resets);
+//  - the link recycles transfer ids (SharedLink recycle_ids), so all
+//    per-cell state is bounded by *peak concurrency*, not session count;
+//  - no per-session results are retained: each finished session folds into
+//    streaming aggregates (util::stats MergeableAccumulator/QuantileSketch)
+//    and is gone.
+//
+// Determinism. Cells are sharded across ExperimentRunner threads as
+// contiguous blocks; per-cell aggregates are written at their cell index
+// and folded serially in cell order after the fan-out. Thread and shard
+// counts therefore change only which worker computes a cell, never any
+// cell's content nor the merge order — fleet aggregates are bit-identical
+// across --threads and --shards (pinned by tests/test_fleet.cpp and CI
+// diffs on bench_fleet).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "media/encoder.h"
+#include "sim/player.h"
+#include "sim/workload.h"
+#include "util/stats.h"
+
+namespace sensei::core {
+class ExperimentRunner;
+}
+
+namespace sensei::sim {
+
+class SessionEngine;
+
+// Streaming fleet aggregates: everything the fleet reports, in O(1) memory
+// per cell. Mergeable — merge() order must be fixed (the fleet folds in
+// cell order) for bit-identical totals.
+struct FleetAggregates {
+  size_t cells = 0;
+  size_t sessions = 0;
+  size_t chunks = 0;
+  size_t outages = 0;
+  size_t abandoned = 0;  // completed early via the viewer's chunk limit
+  // Sessions per WorkloadPolicy, indexed by its enum value.
+  size_t sessions_by_policy[3] = {0, 0, 0};
+  // Largest number of simultaneously active sessions in any one cell — the
+  // quantity all per-cell memory is bounded by.
+  size_t peak_concurrent = 0;
+
+  // Per-session metrics (sessions with at least one chunk): mean per-chunk
+  // QoE under the default qoe::ChunkQualityParams, mean bitrate, total
+  // rebuffer, startup delay.
+  util::MergeableAccumulator session_qoe;
+  util::MergeableAccumulator session_bitrate_kbps;
+  util::MergeableAccumulator session_rebuffer_s;
+  util::MergeableAccumulator startup_delay_s;
+  // Distribution of per-session mean QoE (P50/P90/P99 in the bench JSON).
+  util::QuantileSketch qoe_sketch;
+
+  void merge(const FleetAggregates& other);
+};
+
+struct FleetConfig {
+  WorkloadConfig workload;  // per-cell arrival/abandonment/policy/trace model
+  size_t num_cells = 1;
+  uint64_t seed = 1;
+  // Session mechanics. record_timeline defaults *off* here — the fleet
+  // never reads timelines and keeping them would allocate per session.
+  PlayerConfig player = [] {
+    PlayerConfig c;
+    c.record_timeline = false;
+    return c;
+  }();
+  // Cell bottleneck capacity = generated trace * link_scale. 0 (default)
+  // sizes it automatically to the workload's expected concurrency
+  // (arrival rate x mean video duration, Little's law), so the per-viewer
+  // share stays in the generated trace's band as the workload scales.
+  double link_scale = 0.0;
+  // Observation hook, called once per finished session *from the worker
+  // thread running its cell*, before the engine is recycled. Must be
+  // thread-safe across cells; keep it cheap. Tests use it to capture
+  // per-session data the fleet itself deliberately does not retain.
+  std::function<void(size_t cell, const SessionArrival&, const SessionEngine&)>
+      on_session_done;
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetConfig config);
+
+  const FleetConfig& config() const { return config_; }
+
+  // Runs every cell to completion and returns the fleet-wide aggregates.
+  // `videos` is the shared pool arrivals draw from (workload.num_videos is
+  // overridden to its size); all pointers must outlive the call. Cells are
+  // grouped into `num_shards` contiguous blocks fanned out over `runner`
+  // (0 = one shard per cell). Aggregates are bit-identical for any thread
+  // and shard count.
+  FleetAggregates run(const std::vector<const media::EncodedVideo*>& videos,
+                      const core::ExperimentRunner& runner, size_t num_shards = 0) const;
+
+ private:
+  FleetAggregates run_cell(size_t cell,
+                           const std::vector<const media::EncodedVideo*>& videos) const;
+
+  FleetConfig config_;
+};
+
+}  // namespace sensei::sim

@@ -97,6 +97,12 @@ struct PlayerConfig {
   // static planning tables across all sessions' policies for the duration
   // of the run. Bit-identical output either way; off exists for A/B tests.
   bool share_plan_tables = true;
+  // Record the per-chunk SessionTimeline trajectory. Decisions and the
+  // emitted ChunkRecords are byte-identical either way (no shipped policy
+  // reads AbrObservation::timeline); opting out skips the per-session
+  // timeline allocation entirely — the fleet-scale memory mode. With it off,
+  // SessionResult::timeline() is null and AbrObservation::timeline is null.
+  bool record_timeline = true;
 };
 
 class Player {

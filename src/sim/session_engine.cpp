@@ -26,6 +26,11 @@ SessionEngine::SessionEngine(const PlayerConfig& config, const media::EncodedVid
   init(config, weights, start_s);
 }
 
+// Full (re)initialization: every session-scoped field is assigned here, not
+// left to member defaults, so reset() can rebind a used engine to a fresh
+// session by re-running it. Buffers are cleared, never shrunk — after the
+// engine has seen its longest video, a non-recording re-init allocates
+// nothing (the fleet free-pool contract, pinned by tests).
 void SessionEngine::init(const PlayerConfig& config, const std::vector<double>& weights,
                          double start_s) {
   config_ = config;
@@ -39,24 +44,70 @@ void SessionEngine::init(const PlayerConfig& config, const std::vector<double>& 
   tau_ = video_->chunk_duration_s();
   n_ = video_->num_chunks();
   levels_ = video_->ladder().level_count();
+  end_chunk_ = std::min(n_, std::max<size_t>(1, chunk_limit_));
 
-  timeline_ = std::make_shared<SessionTimeline>(tau_, config_.rtt_s);
-  timeline_->reserve(n_);
+  if (config_.record_timeline) {
+    // A fresh timeline per session: the previous session's result may still
+    // share the old one (shared_ptr), so it cannot be recycled in place.
+    timeline_ = std::make_shared<SessionTimeline>(tau_, config_.rtt_s);
+    timeline_->reserve(n_);
+  } else {
+    timeline_.reset();
+  }
+  history_.clear();
   history_.reserve(config_.throughput_history_len + 1);
+  records_.clear();
   records_.reserve(n_);
 
   // One observation reused across the session: its vectors reach their
   // high-water capacity during the first chunks and the per-chunk refills
   // never touch the heap again (the monolithic loop's discipline).
-  obs_.num_chunks = n_;
+  obs_.num_chunks = n_;  // the full video — abandonment is invisible to the ABR
   obs_.video = video_;
   obs_.timeline = timeline_.get();
+  obs_.throughput_history_kbps.clear();
   obs_.throughput_history_kbps.reserve(config_.throughput_history_len + 1);
+  obs_.future_weights.clear();
   obs_.future_weights.reserve(config_.weight_horizon);
+
+  wall_clock_s_ = 0.0;
+  buffer_s_ = 0.0;
+  playhead_s_ = 0.0;
+  pause_debt_s_ = 0.0;
+  total_stall_s_ = 0.0;
+  startup_delay_s_ = 0.0;
+  last_level_ = 0;
+  last_throughput_ = 0.0;
+  last_download_time_ = 0.0;
+  next_chunk_ = 0;
+  rep_ = nullptr;
+  scheduled_ = 0.0;
+  dl_s_ = 0.0;
+  transfer_elapsed_s_ = 0.0;
+  transfer_start_abs_s_ = 0.0;
+  transfer_id_ = 0;
+  result_taken_ = false;
 
   start_abs_s_ = start_s;
   state_ = State::kRequesting;
   next_event_abs_s_ = start_s;
+}
+
+void SessionEngine::set_chunk_limit(size_t limit) {
+  if (next_chunk_ != 0 || state_ != State::kRequesting)
+    throw std::logic_error("session engine: chunk limit must be set before the first transition");
+  chunk_limit_ = limit;
+  end_chunk_ = std::min(n_, std::max<size_t>(1, limit));
+}
+
+void SessionEngine::reset(const media::EncodedVideo& video, net::SharedLink& link,
+                          AbrPolicy& policy, const std::vector<double>& weights,
+                          double start_s, size_t chunk_limit) {
+  video_ = &video;
+  policy_ = &policy;
+  link_ = &link;
+  chunk_limit_ = chunk_limit;
+  init(config_, weights, start_s);
 }
 
 void SessionEngine::advance_to(double t) {
@@ -262,11 +313,11 @@ void SessionEngine::finish_chunk() {
   history_.push_back(last_throughput_);
   if (history_.size() > config_.throughput_history_len) history_.erase(history_.begin());
 
-  timeline_->push_chunk(traj_);
+  if (timeline_) timeline_->push_chunk(traj_);
   records_.push_back(rec_);
 
   ++next_chunk_;
-  if (next_chunk_ == n_) {
+  if (next_chunk_ == end_chunk_) {
     state_ = State::kDone;
     next_event_abs_s_ = kInf;
     finalize();
@@ -277,20 +328,14 @@ void SessionEngine::finish_chunk() {
 }
 
 void SessionEngine::mark_outage() {
-  timeline_->mark_outage(next_chunk_, wall_clock_s_);
+  if (timeline_) timeline_->mark_outage(next_chunk_, wall_clock_s_);
   state_ = State::kOutage;
   next_event_abs_s_ = kInf;
   finalize();
 }
 
 void SessionEngine::finalize() {
-  timeline_->set_startup_delay(startup_delay_s_);
-  const std::string& trace_name =
-      link_ != nullptr ? link_->trace().name() : cursor_.trace()->name();
-  result_ = SessionResult(video_->source().name(), trace_name, tau_, std::move(records_),
-                          startup_delay_s_);
-  if (state_ == State::kOutage) result_.set_outcome(SessionOutcome::kOutage);
-  result_.set_timeline(timeline_);
+  if (timeline_) timeline_->set_startup_delay(startup_delay_s_);
 }
 
 SessionResult SessionEngine::run() {
@@ -302,11 +347,17 @@ SessionResult SessionEngine::run() {
 
 SessionResult SessionEngine::take_result() {
   if (!done()) throw std::logic_error("session engine: session still in flight");
-  // A second take would silently hand back a moved-from, empty session that
-  // downstream aggregation treats as a valid zero-chunk run.
+  // A second take would silently hand back an empty session (the records
+  // moved out) that downstream aggregation treats as a valid zero-chunk run.
   if (result_taken_) throw std::logic_error("session engine: result already taken");
   result_taken_ = true;
-  return std::move(result_);
+  const std::string& trace_name =
+      link_ != nullptr ? link_->trace().name() : cursor_.trace()->name();
+  SessionResult result(video_->source().name(), trace_name, tau_, std::move(records_),
+                       startup_delay_s_);
+  if (state_ == State::kOutage) result.set_outcome(SessionOutcome::kOutage);
+  if (timeline_) result.set_timeline(timeline_);
+  return result;
 }
 
 }  // namespace sensei::sim

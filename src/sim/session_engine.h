@@ -82,6 +82,13 @@ class SessionEngine {
   double start_s() const { return start_abs_s_; }
   size_t next_chunk() const { return next_chunk_; }
 
+  // Viewer abandonment: end the session (kDone, outcome kCompleted) after
+  // `limit` chunks even if the video has more. Clamped to [1, num_chunks];
+  // SIZE_MAX (the default) watches to the end. Call before the first
+  // transition — the limit is a property of the viewer, not a mid-session
+  // control channel.
+  void set_chunk_limit(size_t limit);
+
   // Forwards a shared planning-table pool to the session's policy.
   // sim::Simulator attaches one batch per run and detaches (nullptr) before
   // the run returns, so the policy never outlives the tables it reads.
@@ -115,9 +122,34 @@ class SessionEngine {
   SessionResult run();
 
   // Valid once done(), once: the finished session, identical to what
-  // Player::stream would have returned. Throws on a second take (the
-  // result moves out) and while the session is still in flight.
+  // Player::stream would have returned. The SessionResult (strings, record
+  // vector) is materialized here, not during the run — fleet callers that
+  // fold aggregates straight from records() never pay for it. Throws on a
+  // second take (the records move out) and while the session is in flight.
   SessionResult take_result();
+
+  // --- aggregation-without-materialization interface -----------------------
+  // Everything a streaming aggregator needs, readable once done() without
+  // building a SessionResult. records() is also valid mid-session (the
+  // chunks downloaded so far).
+  const std::vector<ChunkRecord>& records() const { return records_; }
+  SessionOutcome outcome() const {
+    return state_ == State::kOutage ? SessionOutcome::kOutage : SessionOutcome::kCompleted;
+  }
+  double startup_delay_s() const { return startup_delay_s_; }
+  double total_stall_s() const { return total_stall_s_; }
+  double wall_clock_s() const { return wall_clock_s_; }
+
+  // Rebinds a finished (or fresh) engine to a new session, reusing every
+  // buffer whose capacity the previous sessions grew — the fleet free-pool
+  // primitive: after an engine has seen its longest video, reset() performs
+  // no allocation when config.record_timeline is false (a fresh timeline is
+  // unavoidable when recording: the previous result may still share it).
+  // Shared-link form only — fleet cells drive engines through a SharedLink.
+  // Same lifetime rules as the constructor; `chunk_limit` as set_chunk_limit.
+  void reset(const media::EncodedVideo& video, net::SharedLink& link, AbrPolicy& policy,
+             const std::vector<double>& weights, double start_s,
+             size_t chunk_limit = static_cast<size_t>(-1));
 
  private:
   void init(const PlayerConfig& config, const std::vector<double>& weights, double start_s);
@@ -125,7 +157,7 @@ class SessionEngine {
   void begin_transfer();   // kRtt expiry: first byte may move
   void finish_chunk();     // arrival accounting (the monolithic loop's tail)
   void mark_outage();      // truncate at the in-flight chunk
-  void finalize();         // build the SessionResult
+  void finalize();         // end-of-session timeline bookkeeping
 
   PlayerConfig config_;
   const media::EncodedVideo* video_ = nullptr;
@@ -142,6 +174,8 @@ class SessionEngine {
   double tau_ = 0.0;
   size_t n_ = 0;
   size_t levels_ = 0;
+  size_t chunk_limit_ = static_cast<size_t>(-1);  // viewer abandonment (raw)
+  size_t end_chunk_ = 0;                          // min(n_, max(1, chunk_limit_))
   double wall_clock_s_ = 0.0;  // session-relative, like the emitted timeline
   double buffer_s_ = 0.0;
   double playhead_s_ = 0.0;
@@ -167,7 +201,6 @@ class SessionEngine {
   ChunkRecord rec_;
   ChunkTrajectory traj_;
 
-  SessionResult result_;
   bool result_taken_ = false;
 };
 

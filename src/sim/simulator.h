@@ -8,10 +8,11 @@
 // equally across active downloads).
 //
 // The loop is a textbook discrete-event scheduler over exact times, not
-// fixed ticks: a lazy min-heap of engine transition times plus the shared
-// link's next-completion estimate. Every iteration advances the link to
-// the earliest pending instant, delivers completions (in join order), then
-// lets every engine with a transition at that instant run its chain —
+// fixed ticks: an indexed min-heap (sim/event_queue.h) of engine transition
+// times plus the shared link's next-completion estimate. Every iteration
+// advances the link to the earliest pending instant, delivers completions
+// (in join order), then lets every engine with a transition at that instant
+// run its chain —
 // deterministic by construction: ties break on session index, completions
 // land before same-instant joins (the leaver frees its share first, which
 // is what makes "last leaver gets the full link" exact at boundaries), and
@@ -51,6 +52,9 @@ struct SessionSpec {
   AbrPolicy* policy = nullptr;
   const std::vector<double>* weights = nullptr;  // nullable
   double start_s = 0.0;
+  // Viewer abandonment: the session ends (kCompleted) after downloading this
+  // many chunks even if the video has more. SIZE_MAX: watches to the end.
+  size_t chunk_limit = static_cast<size_t>(-1);
 };
 
 struct MultiSessionResult {
@@ -75,13 +79,23 @@ class Simulator {
   PlayerConfig config_;
 };
 
-// Convenience: N staggered sessions (session k arrives at k * stagger_s),
+// Spec builder: N staggered sessions (session k arrives at k * stagger_s),
 // cycling videos — each with its paired weights vector, when `weights` is
 // non-empty (then it must be videos.size() long) — over the supplied pools;
-// `policies` carries one instance per session.
-std::vector<SessionSpec> staggered_specs(const std::vector<const media::EncodedVideo*>& videos,
-                                         const std::vector<AbrPolicy*>& policies,
-                                         const std::vector<const std::vector<double>*>& weights,
-                                         size_t num_sessions, double stagger_s);
+// `policies` carries one instance per session. Replaces the old
+// three-parallel-vector staggered_specs() signature, whose call sites were
+// one positional mix-up away from streaming a video under another's
+// weights.
+struct StaggeredSpecs {
+  std::vector<const media::EncodedVideo*> videos;  // cycled round-robin
+  std::vector<AbrPolicy*> policies;                // exactly one per session
+  std::vector<const std::vector<double>*> weights;  // empty, or 1:1 with videos
+  size_t num_sessions = 0;
+  double stagger_s = 0.0;
+  // Applied to every session (viewer abandonment; SIZE_MAX = full video).
+  size_t chunk_limit = static_cast<size_t>(-1);
+
+  std::vector<SessionSpec> build() const;
+};
 
 }  // namespace sensei::sim

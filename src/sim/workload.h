@@ -1,0 +1,116 @@
+// Seeded fleet workload generator: who arrives when, watching what, under
+// which policy, on what kind of bottleneck.
+//
+// A fleet run (sim/fleet.h) is many independent bottleneck cells, each fed a
+// stream of session arrivals. This generator produces that stream lazily —
+// one SessionArrival at a time, in nondecreasing start order — so a
+// million-session run never materializes an arrival list. Everything is
+// drawn from one seeded util::Rng in a fixed per-arrival order
+// (inter-arrival gap, video, policy, abandonment), which is what makes a
+// cell's workload a pure function of (config, seed): the determinism the
+// fleet's cross-thread/cross-shard bit-identity gates build on.
+//
+// Models (standard in trace-driven CDN/ABR studies):
+//  - Poisson arrivals: exponential inter-arrival gaps at a fixed rate.
+//  - Diurnal arrivals: a thinned Poisson process whose acceptance follows a
+//    raised-cosine day curve between a trough fraction and the peak rate.
+//  - Abandonment: a fraction of viewers leave early, watching an
+//    exponentially distributed number of chunks (at least one).
+//  - Policy mix: each viewer runs one of the shipped ABR families (BBA,
+//    rate-based, Fugu with the discretized-VI planner — the fleet-scale
+//    planner mode).
+//  - Bottleneck: each cell gets its own net::TraceGenerator trace (cellular
+//    or broadband, mean drawn from the paper's 0.2-6 Mbps band) from an
+//    independent stream derived off the same seed, so reordering arrival
+//    draws can never reshape the network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+#include "util/rng.h"
+
+namespace sensei::sim {
+
+enum class ArrivalProcess {
+  kPoisson,  // constant rate
+  kDiurnal,  // raised-cosine day curve, thinned from the peak rate
+};
+
+// The ABR families a generated viewer may run. kFuguVi selects the
+// discretized value-iteration planner (abr::PlannerKind::kVi), the
+// fleet-scale Fugu mode.
+enum class WorkloadPolicy { kBba, kRateBased, kFuguVi };
+
+const char* to_string(ArrivalProcess process);
+const char* to_string(WorkloadPolicy policy);
+
+struct WorkloadConfig {
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  // Poisson: the constant arrival rate. Diurnal: the peak (midday) rate;
+  // the instantaneous rate swings between trough * peak and peak.
+  double arrival_rate_per_s = 0.5;
+  // Arrivals occur in [0, arrival_window_s); sessions run to completion.
+  double arrival_window_s = 600.0;
+  // Diurnal shape: rate(t) = peak * (trough + (1 - trough) *
+  // 0.5 * (1 - cos(2 pi t / period))) — t = 0 is the trough.
+  double diurnal_period_s = 600.0;
+  double diurnal_trough = 0.2;  // trough rate as a fraction of peak, in [0, 1]
+  // Viewer abandonment: this fraction of sessions stops after an
+  // Exponential(mean_abandon_chunks) number of chunks (>= 1); the rest
+  // watch to the end.
+  double abandon_fraction = 0.25;
+  double mean_abandon_chunks = 20.0;
+  // Relative draw weights for {kBba, kRateBased, kFuguVi}.
+  std::vector<double> policy_mix = {0.4, 0.3, 0.3};
+  // Videos are drawn uniformly from a pool of this size; the fleet maps the
+  // index into whatever video set the caller built.
+  size_t num_videos = 1;
+  // Per-cell bottleneck trace (make_trace): cellular with this probability,
+  // broadband otherwise; mean throughput uniform in [min, max] — the
+  // paper's evaluation band scaled to per-cell contention.
+  double trace_cellular_fraction = 0.5;
+  double trace_mean_kbps_min = 1000.0;
+  double trace_mean_kbps_max = 6000.0;
+  double trace_duration_s = 400.0;  // generated period; traces loop
+};
+
+// One viewer, ready to hand to the fleet's session pool.
+struct SessionArrival {
+  double start_s = 0.0;
+  size_t video_index = 0;  // into the caller's video pool
+  WorkloadPolicy policy = WorkloadPolicy::kBba;
+  // Chunks watched before leaving; SIZE_MAX = watches to the end
+  // (sim::SessionSpec / SessionEngine semantics).
+  size_t chunk_limit = static_cast<size_t>(-1);
+};
+
+class WorkloadGenerator {
+ public:
+  // Throws on nonsensical configs (non-positive rate or window, empty or
+  // non-positive policy mix, trough outside [0, 1], empty video pool).
+  WorkloadGenerator(const WorkloadConfig& config, uint64_t seed);
+
+  // Writes the next arrival and returns true, or returns false when the
+  // arrival window has closed (the stream is exhausted; `out` untouched).
+  bool next(SessionArrival* out);
+
+  size_t generated() const { return count_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  // The cell's bottleneck trace, drawn from an independent stream derived
+  // from the same seed — calling it any number of times, before or after
+  // any number of next() calls, always yields the same trace.
+  net::ThroughputTrace make_trace(const std::string& name) const;
+
+ private:
+  WorkloadConfig config_;
+  util::Rng rng_;
+  uint64_t seed_ = 0;
+  double t_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace sensei::sim

@@ -158,4 +158,139 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+void MergeableAccumulator::add(double x) {
+  // The identical update sequence to Accumulator::add — the equivalence the
+  // tests pin (same running mean_/m2_ bit for bit).
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+}
+
+void MergeableAccumulator::merge(const MergeableAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. pairwise combination of (n, mean, M2).
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / (na + nb));
+  m2_ += other.m2_ + delta * delta * (na * nb / (na + nb));
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double MergeableAccumulator::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double MergeableAccumulator::stddev() const { return std::sqrt(variance()); }
+
+QuantileSketch::QuantileSketch() {
+  // Everything add()/merge() can ever need, reserved up front: the buffer
+  // itself plus one whole incoming sketch appended before a compression.
+  centroids_.reserve(kCapacity + kCapacity);
+  scratch_.reserve(kCompressed + 1);
+}
+
+void QuantileSketch::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  centroids_.push_back({x, 1.0});
+  if (centroids_.size() >= kCapacity) compress();
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  n_ += other.n_;
+  centroids_.insert(centroids_.end(), other.centroids_.begin(), other.centroids_.end());
+  if (centroids_.size() >= kCapacity) compress();
+}
+
+void QuantileSketch::compress() {
+  if (centroids_.size() <= kCompressed) return;
+  // (value, weight) sort: a total, input-determined order — the whole
+  // compression is then a pure function of the multiset seen so far.
+  std::sort(centroids_.begin(), centroids_.end(), [](const Centroid& a, const Centroid& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.weight < b.weight;
+  });
+  double total = 0.0;
+  for (const Centroid& c : centroids_) total += c.weight;
+  scratch_.clear();
+  // Greedy equal-weight bucketing: emit a merged centroid each time the
+  // cumulative weight crosses the next bucket boundary k * total / B.
+  double cum = 0.0, acc_w = 0.0, acc_vw = 0.0;
+  size_t bucket = 1;
+  const double step = total / static_cast<double>(kCompressed);
+  for (const Centroid& c : centroids_) {
+    cum += c.weight;
+    acc_w += c.weight;
+    acc_vw += c.value * c.weight;
+    if (cum >= static_cast<double>(bucket) * step - 1e-9 * total) {
+      scratch_.push_back({acc_vw / acc_w, acc_w});
+      acc_w = acc_vw = 0.0;
+      while (static_cast<double>(bucket) * step <= cum + 1e-9 * total) ++bucket;
+    }
+  }
+  if (acc_w > 0.0) scratch_.push_back({acc_vw / acc_w, acc_w});
+  centroids_.swap(scratch_);  // both keep their reserved capacity
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  std::vector<Centroid> cs = centroids_;  // report-time call: copying is fine
+  std::sort(cs.begin(), cs.end(), [](const Centroid& a, const Centroid& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.weight < b.weight;
+  });
+  double total = 0.0;
+  for (const Centroid& c : cs) total += c.weight;
+  double rank = q * total;
+  // Each centroid occupies a weight-span of the rank axis; interpolate
+  // between consecutive centroid midpoints (and the exact extremes at the
+  // ends), the standard digest query.
+  double cum = 0.0;
+  double prev_mid = 0.0;
+  double prev_val = min_;
+  for (const Centroid& c : cs) {
+    double mid = cum + c.weight / 2.0;
+    if (rank <= mid) {
+      double span = mid - prev_mid;
+      double frac = span > 0.0 ? (rank - prev_mid) / span : 1.0;
+      return prev_val + (c.value - prev_val) * frac;
+    }
+    prev_mid = mid;
+    prev_val = c.value;
+    cum += c.weight;
+  }
+  double span = total - prev_mid;
+  double frac = span > 0.0 ? (rank - prev_mid) / span : 1.0;
+  return prev_val + (max_ - prev_val) * frac;
+}
+
 }  // namespace sensei::util

@@ -65,4 +65,75 @@ class Accumulator {
   double m2_ = 0.0;
 };
 
+// Mergeable Welford accumulator with exact min/max: the streaming-aggregation
+// primitive of the fleet simulator. add() performs the identical update
+// sequence to Accumulator (same expressions, same order — bit-identical
+// running state); merge() is Chan et al.'s pairwise combination. Merging is
+// deterministic for a fixed merge order, which is how the fleet keeps its
+// aggregates bit-identical across thread and shard counts: per-cell
+// accumulators are filled single-threaded and folded serially in cell order.
+class MergeableAccumulator {
+ public:
+  void add(double x);
+  void merge(const MergeableAccumulator& other);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Bounded-memory mergeable quantile sketch (centroid digest).
+//
+// A fixed-capacity array of (value, weight) centroids; when it fills, a
+// deterministic compression sorts the centroids and coalesces them into
+// kCompressed equal-weight buckets (weighted-mean value per bucket). Exact
+// min/max are tracked on the side, so the tail queries quantile(0)/(1) are
+// exact. quantile(q) interpolates linearly between centroid midpoints —
+// rank error is bounded by the largest bucket weight, ~2/kCompressed of the
+// population (tests pin <= 2/kCompressed against exact percentiles).
+//
+// All storage is reserved at construction: add() and merge() never allocate
+// (the fleet hot-path discipline; quantile(), a report-time call, sorts a
+// local copy and may). Deterministic: compression decisions depend only on
+// the values seen, so a fixed add/merge order yields a bit-identical sketch
+// regardless of thread or shard count.
+class QuantileSketch {
+ public:
+  QuantileSketch();
+  void add(double x);
+  void merge(const QuantileSketch& other);
+  size_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  // q in [0, 1]; q <= 0 and q >= 1 return the exact extremes. Empty -> 0.
+  double quantile(double q) const;
+
+  // Compression geometry, public so tests can state the error bound in
+  // terms of the implementation's own constants.
+  static constexpr size_t kCompressed = 64;   // centroids after compression
+  static constexpr size_t kCapacity = 192;    // buffered centroids before one
+
+ private:
+  struct Centroid {
+    double value = 0.0;
+    double weight = 0.0;
+  };
+  void compress();
+
+  std::vector<Centroid> centroids_;
+  std::vector<Centroid> scratch_;  // compression target, capacity reserved
+  size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 }  // namespace sensei::util

@@ -1,0 +1,130 @@
+// Steady-state allocation gates for the fleet hot path (this binary has a
+// counting global operator new, like tests/test_session_alloc.cpp):
+//
+//  1. Engine recycling: once a SessionEngine has streamed one session on a
+//     recycling SharedLink with record_timeline off, reset() + a full
+//     further session performs ZERO heap allocations — the reset-don't-
+//     reallocate contract the fleet's free pool is built on.
+//  2. Fleet steady state: in a running cell, once concurrency has peaked
+//     and the pools are warm, finishing and admitting further sessions
+//     allocates nothing — memory is bounded by peak concurrency, not
+//     session count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "abr/bba.h"
+#include "core/runner.h"
+#include "media/dataset.h"
+#include "net/shared_link.h"
+#include "net/trace_gen.h"
+#include "sim/fleet.h"
+#include "sim/session_engine.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sensei::sim {
+namespace {
+
+// Drives one shared-link session to completion (the Simulator loop for a
+// single engine).
+void drive(SessionEngine& engine, net::SharedLink& link) {
+  while (!engine.done()) {
+    double t = std::min(engine.next_event_time(), link.next_completion_s());
+    ASSERT_TRUE(std::isfinite(t));
+    link.advance_to(t);
+    bool completed = false;
+    for (const net::SharedLink::Completion& c : link.completions_sorted()) {
+      engine.complete_transfer(c.finish_s);
+      completed = true;
+    }
+    link.clear_completions();
+    if (!completed) engine.advance_to(t);
+  }
+}
+
+TEST(FleetAllocation, RecycledEngineStreamsSessionsWithoutAllocating) {
+  media::EncodedVideo video = media::Encoder().encode(
+      media::SourceVideo::generate("FleetAlloc", media::Genre::kSports, 120));
+  net::ThroughputTrace trace =
+      net::TraceGenerator::cellular("fleet-alloc-cell", 2400, 500.0, 5);
+  net::SharedLink link(trace, /*recycle_ids=*/true);
+
+  PlayerConfig config;
+  config.record_timeline = false;
+  abr::BbaAbr bba;
+  SessionEngine engine(config, video, link, bba, {}, link.now_s());
+  drive(engine, link);  // session 1: growth to high-water capacity
+  ASSERT_EQ(engine.records().size(), video.num_chunks());
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    double start_s = link.now_s();
+    std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    engine.reset(video, link, bba, {}, start_s, /*chunk_limit=*/20);
+    drive(engine, link);
+    std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    ASSERT_EQ(engine.records().size(), 20u);
+    EXPECT_EQ(engine.outcome(), SessionOutcome::kCompleted);
+    EXPECT_EQ(after - before, 0u) << "repeat " << repeat;
+  }
+}
+
+TEST(FleetAllocation, FleetSteadyStateAddsNoPerSessionAllocations) {
+  media::Encoder encoder;
+  std::vector<media::EncodedVideo> videos;
+  videos.push_back(
+      encoder.encode(media::SourceVideo::generate("FleetAllocA", media::Genre::kSports, 48)));
+  std::vector<const media::EncodedVideo*> video_ptrs = {&videos[0]};
+
+  FleetConfig config;
+  config.num_cells = 1;
+  config.seed = 31;
+  config.workload.arrival_rate_per_s = 1.0;
+  config.workload.arrival_window_s = 80.0;
+  config.workload.policy_mix = {1.0};  // BBA only: no planner warm-up noise
+  config.workload.abandon_fraction = 0.5;
+  config.workload.mean_abandon_chunks = 10.0;
+
+  // Allocation counter sampled at every session retirement. Once the cell
+  // has warmed (concurrency peak reached, pools and link at high water),
+  // the counter must freeze: sessions keep finishing and being admitted
+  // with zero heap traffic.
+  std::vector<std::uint64_t> at_retire;
+  at_retire.reserve(4096);  // the probe itself must not allocate in the window
+  config.on_session_done = [&](size_t, const SessionArrival&, const SessionEngine&) {
+    at_retire.push_back(g_allocations.load(std::memory_order_relaxed));
+  };
+  core::ExperimentRunner runner(1);
+  FleetAggregates agg = FleetSimulator(config).run(video_ptrs, runner);
+  ASSERT_EQ(agg.sessions, at_retire.size());
+  ASSERT_GT(at_retire.size(), 30u);
+
+  // Growth (slots, pools, link bookkeeping, planner buffers) is allowed to
+  // finish in the first two thirds; after that the counter must freeze.
+  size_t tail_begin = at_retire.size() * 2 / 3;
+  for (size_t i = tail_begin; i < at_retire.size(); ++i) {
+    EXPECT_EQ(at_retire[i], at_retire[tail_begin]) << "retirement " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sensei::sim

@@ -236,7 +236,7 @@ TEST_F(PlannerAccuracy, SimulatorSharedTablesBitIdentical) {
         policy_ptrs.push_back(policies.back().get());
       }
       std::vector<const media::EncodedVideo*> videos = {&video_, &video_b};
-      auto specs = sim::staggered_specs(videos, policy_ptrs, {}, 12, 4.0);
+      auto specs = sim::StaggeredSpecs{videos, policy_ptrs, {}, 12, 4.0}.build();
       sim::PlayerConfig config;
       config.share_plan_tables = share;
       return sim::Simulator(config).run(specs, bottleneck, sim::LinkMode::kShared);

@@ -524,5 +524,99 @@ TEST(MultiSessionGrid, BitIdenticalAcrossRunnerThreads) {
   }
 }
 
+TEST(RecordTimelineOptOut, ChunkRecordsAreByteIdenticalWithoutATimeline) {
+  // record_timeline = false is a pure memory opt-out: no shipped policy
+  // reads AbrObservation::timeline, so every decision and every emitted
+  // ChunkRecord must stay byte-for-byte what the recording run produced —
+  // only SessionResult::timeline() disappears.
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("NoTl", media::Genre::kSports, 120));
+  net::ThroughputTrace trace = net::TraceGenerator::cellular("notl-cell", 1300, 500.0, 21);
+
+  for (int kind = 0; kind < 2; ++kind) {
+    SCOPED_TRACE(kind == 0 ? "bba" : "fugu");
+    auto make = [&]() -> std::unique_ptr<AbrPolicy> {
+      if (kind == 0) return std::make_unique<abr::BbaAbr>();
+      return std::make_unique<abr::FuguAbr>();
+    };
+    PlayerConfig recording;
+    auto policy_a = make();
+    SessionResult with = Player(recording).stream(video, trace, *policy_a);
+
+    PlayerConfig bare;
+    bare.record_timeline = false;
+    auto policy_b = make();
+    SessionResult without = Player(bare).stream(video, trace, *policy_b);
+
+    ASSERT_NE(with.timeline(), nullptr);
+    EXPECT_EQ(without.timeline(), nullptr);
+    EXPECT_EQ(with.outcome(), without.outcome());
+    EXPECT_EQ(with.startup_delay_s(), without.startup_delay_s());
+    ASSERT_EQ(with.chunks().size(), without.chunks().size());
+    for (size_t i = 0; i < with.chunks().size(); ++i) {
+      const ChunkRecord& x = with.chunks()[i];
+      const ChunkRecord& y = without.chunks()[i];
+      SCOPED_TRACE("chunk " + std::to_string(i));
+      EXPECT_EQ(x.index, y.index);
+      EXPECT_EQ(x.level, y.level);
+      EXPECT_EQ(x.bitrate_kbps, y.bitrate_kbps);
+      EXPECT_EQ(x.size_bytes, y.size_bytes);
+      EXPECT_EQ(x.download_start_s, y.download_start_s);
+      EXPECT_EQ(x.download_time_s, y.download_time_s);
+      EXPECT_EQ(x.rebuffer_s, y.rebuffer_s);
+      EXPECT_EQ(x.scheduled_rebuffer_s, y.scheduled_rebuffer_s);
+      EXPECT_EQ(x.buffer_after_s, y.buffer_after_s);
+      EXPECT_EQ(x.visual_quality, y.visual_quality);
+    }
+  }
+}
+
+TEST(ChunkLimit, AbandonedSessionTruncatesAsCompletedAndMatchesPrefix) {
+  // A viewer who abandons after k chunks must emit exactly the first k
+  // ChunkRecords of the full watch (decisions cannot depend on a limit the
+  // ABR never sees) and finish as kCompleted, not kOutage.
+  auto video = media::Encoder().encode(
+      media::SourceVideo::generate("Abandon", media::Genre::kNature, 120));
+  net::ThroughputTrace trace = net::TraceGenerator::broadband("abandon-bb", 2600, 500.0, 22);
+
+  abr::BbaAbr full_policy;
+  SessionSpec full_spec;
+  full_spec.video = &video;
+  full_spec.policy = &full_policy;
+  auto full = Simulator().run({full_spec}, trace, LinkMode::kDedicated);
+
+  const size_t limit = 17;
+  abr::BbaAbr cut_policy;
+  SessionSpec cut_spec;
+  cut_spec.video = &video;
+  cut_spec.policy = &cut_policy;
+  cut_spec.chunk_limit = limit;
+  auto cut = Simulator().run({cut_spec}, trace, LinkMode::kDedicated);
+
+  ASSERT_EQ(full[0].session.chunks().size(), video.num_chunks());
+  ASSERT_EQ(cut[0].session.chunks().size(), limit);
+  EXPECT_EQ(cut[0].session.outcome(), SessionOutcome::kCompleted);
+  for (size_t i = 0; i < limit; ++i) {
+    SCOPED_TRACE("chunk " + std::to_string(i));
+    EXPECT_EQ(full[0].session.chunks()[i].level, cut[0].session.chunks()[i].level);
+    EXPECT_EQ(full[0].session.chunks()[i].download_time_s,
+              cut[0].session.chunks()[i].download_time_s);
+    EXPECT_EQ(full[0].session.chunks()[i].rebuffer_s, cut[0].session.chunks()[i].rebuffer_s);
+  }
+
+  // The builder applies one limit to every generated spec.
+  abr::BbaAbr p0, p1;
+  StaggeredSpecs staggered;
+  staggered.videos = {&video};
+  staggered.policies = {&p0, &p1};
+  staggered.num_sessions = 2;
+  staggered.stagger_s = 3.0;
+  staggered.chunk_limit = 5;
+  auto specs = staggered.build();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].chunk_limit, 5u);
+  EXPECT_EQ(specs[1].chunk_limit, 5u);
+}
+
 }  // namespace
 }  // namespace sensei::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.h"
@@ -145,6 +146,136 @@ TEST(Stats, AccumulatorMatchesBatch) {
   EXPECT_EQ(acc.count(), v.size());
   EXPECT_NEAR(acc.mean(), mean(v), 1e-12);
   EXPECT_NEAR(acc.variance(), variance(v), 1e-12);
+}
+
+// The fleet aggregation primitives: a mergeable Welford accumulator and a
+// bounded-memory quantile sketch (util/stats.h).
+
+TEST(MergeableAccumulator, MatchesPlainWelfordBitForBit) {
+  util::Rng rng(7);
+  Accumulator plain;
+  MergeableAccumulator merged;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    plain.add(x);
+    merged.add(x);
+    // Identical update sequence -> identical running state, not merely close.
+    ASSERT_EQ(plain.mean(), merged.mean());
+    ASSERT_EQ(plain.variance(), merged.variance());
+  }
+  EXPECT_EQ(plain.count(), merged.count());
+}
+
+TEST(MergeableAccumulator, TracksExactExtremes) {
+  MergeableAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);  // empty
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+  for (double x : {3.0, -1.5, 7.25, 2.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.25);
+}
+
+TEST(MergeableAccumulator, MergeEquivalentToSingleStream) {
+  util::Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 4096; ++i) data.push_back(rng.uniform() * 100.0 - 20.0);
+
+  Accumulator single;
+  for (double x : data) single.add(x);
+
+  // Any contiguous sharding, folded in shard order, must agree with the
+  // single stream to floating-point reassociation tolerance — and the
+  // extremes exactly.
+  for (size_t shards : {1u, 2u, 4u, 7u, 16u}) {
+    std::vector<MergeableAccumulator> parts(shards);
+    for (size_t i = 0; i < data.size(); ++i) {
+      parts[i * shards / data.size()].add(data[i]);
+    }
+    MergeableAccumulator total;
+    for (const auto& p : parts) total.merge(p);
+    EXPECT_EQ(total.count(), data.size());
+    EXPECT_NEAR(total.mean(), single.mean(), 1e-9 * std::abs(single.mean()));
+    EXPECT_NEAR(total.variance(), single.variance(), 1e-9 * single.variance());
+    EXPECT_DOUBLE_EQ(total.min(), min_of(data));
+    EXPECT_DOUBLE_EQ(total.max(), max_of(data));
+  }
+}
+
+TEST(MergeableAccumulator, FixedMergeOrderIsDeterministic) {
+  // The fleet's bit-identity contract: the same per-part accumulators folded
+  // in the same order give the same doubles, however the parts were computed.
+  util::Rng rng(13);
+  std::vector<MergeableAccumulator> parts(8);
+  for (int i = 0; i < 800; ++i) parts[i % 8].add(rng.normal(0.0, 1.0));
+  MergeableAccumulator a, b;
+  for (const auto& p : parts) a.merge(p);
+  for (const auto& p : parts) b.merge(p);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+// Empirical CDF position of `x` in sorted `data` (rank / n).
+double rank_of(const std::vector<double>& sorted_data, double x) {
+  auto it = std::lower_bound(sorted_data.begin(), sorted_data.end(), x);
+  return static_cast<double>(it - sorted_data.begin()) /
+         static_cast<double>(sorted_data.size());
+}
+
+TEST(QuantileSketch, RankErrorWithinBound) {
+  util::Rng rng(17);
+  std::vector<double> data;
+  QuantileSketch sketch;
+  for (int i = 0; i < 20000; ++i) {
+    // A lumpy mixture, so the test exercises uneven densities.
+    double x = rng.chance(0.3) ? rng.normal(50.0, 1.0) : rng.uniform() * 100.0;
+    data.push_back(x);
+    sketch.add(x);
+  }
+  EXPECT_EQ(sketch.count(), data.size());
+  std::sort(data.begin(), data.end());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), data.front());
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), data.back());
+  const double bound = 2.0 / static_cast<double>(QuantileSketch::kCompressed) + 1e-3;
+  for (double q : {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    double est = sketch.quantile(q);
+    EXPECT_NEAR(rank_of(data, est), q, bound) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergedShardsStayWithinBound) {
+  util::Rng rng(19);
+  std::vector<double> data;
+  std::vector<QuantileSketch> shards(6);
+  for (int i = 0; i < 18000; ++i) {
+    double x = rng.exponential(0.1);
+    data.push_back(x);
+    shards[static_cast<size_t>(i) % shards.size()].add(x);
+  }
+  QuantileSketch total;
+  for (const auto& s : shards) total.merge(s);
+  EXPECT_EQ(total.count(), data.size());
+  std::sort(data.begin(), data.end());
+  EXPECT_DOUBLE_EQ(total.min(), data.front());
+  EXPECT_DOUBLE_EQ(total.max(), data.back());
+  // Merging re-compresses, so allow one extra compression's worth of rank
+  // slack over the single-stream bound.
+  const double bound = 3.0 / static_cast<double>(QuantileSketch::kCompressed) + 1e-3;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double est = total.quantile(q);
+    EXPECT_NEAR(rank_of(data, est), q, bound) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, FixedMergeOrderIsDeterministic) {
+  util::Rng rng(23);
+  std::vector<QuantileSketch> parts(5);
+  for (int i = 0; i < 3000; ++i) parts[static_cast<size_t>(i) % 5].add(rng.uniform());
+  QuantileSketch a, b;
+  for (const auto& p : parts) a.merge(p);
+  for (const auto& p : parts) b.merge(p);
+  for (double q : {0.1, 0.5, 0.9}) EXPECT_EQ(a.quantile(q), b.quantile(q));
 }
 
 // Property sweep: spearman of any vector with itself is 1, with its reverse
