@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "core/experiments.h"
@@ -37,6 +38,14 @@ std::vector<double> qoe_per_scale(const Experiments::PolicyFactory& make_policy,
   return out;
 }
 
+const char* planner_text(abr::PlannerKind planner) {
+  switch (planner) {
+    case abr::PlannerKind::kExhaustive: return "exhaustive";
+    case abr::PlannerKind::kVi: return "vi";
+    default: return "dp";
+  }
+}
+
 // Linear interpolation of the scale needed to reach `target` QoE.
 double scale_for_target(const std::vector<double>& scales, const std::vector<double>& qoe,
                         double target) {
@@ -62,21 +71,19 @@ int main(int argc, char** argv) {
   for (double scale : scales) scaled.push_back(base_trace.scaled(scale));
 
   // Warm the shared fixtures (videos, weights, trained Pensieve) before
-  // timing so the wall clock below measures the grid sweep alone.
+  // timing so the wall clock below measures the grid sweep alone. All four
+  // policies come from the registry via Experiments::policy_factory.
   Experiments::weights();
-  auto& trained_pensieve = Experiments::pensieve();
+  Experiments::pensieve();
+  const std::string suffix = std::string(":planner=") + planner_text(planner);
 
   auto start = std::chrono::steady_clock::now();
-  auto q_sensei = qoe_per_scale(
-      [planner] { return core::Sensei::make_sensei_fugu({}, planner); }, scaled, true,
-      runner);
-  auto q_pen = qoe_per_scale(
-      [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, scaled, false,
-      runner);
-  auto q_fugu = qoe_per_scale(
-      [planner] { return core::Sensei::make_fugu({}, planner); }, scaled, false, runner);
-  auto q_bba = qoe_per_scale([] { return std::make_unique<abr::BbaAbr>(); }, scaled, false,
-                             runner);
+  auto q_sensei =
+      qoe_per_scale(Experiments::policy_factory("sensei-fugu" + suffix), scaled, true, runner);
+  auto q_pen = qoe_per_scale(Experiments::policy_factory("pensieve"), scaled, false, runner);
+  auto q_fugu =
+      qoe_per_scale(Experiments::policy_factory("fugu" + suffix), scaled, false, runner);
+  auto q_bba = qoe_per_scale(Experiments::policy_factory("bba"), scaled, false, runner);
   double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                        .count();
 

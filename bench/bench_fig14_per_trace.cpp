@@ -5,8 +5,16 @@
 // Ported onto core::ExperimentRunner: the four (video × trace) grids fan
 // across the worker pool (`--threads N`, default hardware concurrency);
 // aggregation happens after the fact on bit-identical per-cell results.
+//
+// `--construction registry|direct` selects how the four policies are
+// built: through Experiments::policy_factory (the registry path every
+// other layer uses, default) or via reference lambdas calling the
+// concrete constructors. CI diffs the two outputs — they must be
+// bit-identical, the registry==direct construction contract.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "core/experiments.h"
@@ -16,25 +24,56 @@
 using namespace sensei;
 using core::Experiments;
 
+namespace {
+
+const char* planner_text(abr::PlannerKind planner) {
+  switch (planner) {
+    case abr::PlannerKind::kExhaustive: return "exhaustive";
+    case abr::PlannerKind::kVi: return "vi";
+    default: return "dp";
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
   const abr::PlannerKind planner = bench::planner_arg(argc, argv);
   bench::trace_integration_arg(argc, argv);
+  std::string construction = "registry";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--construction") == 0) construction = argv[i + 1];
+  }
+  if (construction != "registry" && construction != "direct") {
+    std::fprintf(stderr, "error: --construction expects registry or direct\n");
+    return 2;
+  }
 
   const auto& videos = Experiments::videos();
   const auto& traces = Experiments::traces();
   Experiments::weights();
   auto& trained_pensieve = Experiments::pensieve();
 
+  Experiments::PolicyFactory f_bba, f_sensei, f_pen, f_fugu;
+  if (construction == "direct") {
+    // Reference path: concrete constructors, bypassing the registry.
+    f_bba = [] { return std::make_unique<abr::BbaAbr>(); };
+    f_sensei = [planner] { return core::Sensei::make_sensei_fugu({}, planner); };
+    f_pen = [&trained_pensieve] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); };
+    f_fugu = [planner] { return core::Sensei::make_fugu({}, planner); };
+  } else {
+    const std::string suffix = std::string(":planner=") + planner_text(planner);
+    f_bba = Experiments::policy_factory("bba");
+    f_sensei = Experiments::policy_factory("sensei-fugu" + suffix);
+    f_pen = Experiments::policy_factory("pensieve");
+    f_fugu = Experiments::policy_factory("fugu" + suffix);
+  }
+
   auto start = std::chrono::steady_clock::now();
-  auto grid_bba =
-      Experiments::run_grid([] { return std::make_unique<abr::BbaAbr>(); }, false, runner);
-  auto grid_sensei = Experiments::run_grid(
-      [planner] { return core::Sensei::make_sensei_fugu({}, planner); }, true, runner);
-  auto grid_pen = Experiments::run_grid(
-      [&] { return std::make_unique<abr::PensieveAbr>(trained_pensieve); }, false, runner);
-  auto grid_fugu = Experiments::run_grid(
-      [planner] { return core::Sensei::make_fugu({}, planner); }, false, runner);
+  auto grid_bba = Experiments::run_grid(f_bba, false, runner);
+  auto grid_sensei = Experiments::run_grid(f_sensei, true, runner);
+  auto grid_pen = Experiments::run_grid(f_pen, false, runner);
+  auto grid_fugu = Experiments::run_grid(f_fugu, false, runner);
   double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                        .count();
 

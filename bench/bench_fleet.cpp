@@ -10,6 +10,9 @@
 //   ./bench_fleet --shards N         cells per fan-out block (0 = one per cell)
 //   ./bench_fleet --cells N          override the headline scenario's cell count
 //   ./bench_fleet --baseline FILE    validate a pinned JSON's schema
+//   ./bench_fleet --policy SPEC      replace the workload's policy mix with the
+//                                    given registry specs (repeatable, equal
+//                                    weights) — see abr/registry.h
 //
 // Two kinds of output lines:
 //  - "fleet ..." rows: per-scenario aggregates printed with %.9g and no
@@ -81,17 +84,26 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--threads", "--shards", "--cells", "--baseline"},
+  bench::check_flags(argc, argv,
+                     {"--out", "--threads", "--shards", "--cells", "--baseline", "--policy"},
                      {"--smoke"},
                      "bench_fleet [--smoke] [--out FILE] [--threads N] [--shards N] "
-                     "[--cells N] [--baseline FILE]");
+                     "[--cells N] [--baseline FILE] [--policy SPEC]...");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_fleet.json");
   const std::string baseline_path = bench::baseline_arg(argc, argv);
   if (!baseline_path.empty()) {
-    bench::check_baseline_fields(baseline_path, 1,
+    // Schema v2: sessions_by_policy is keyed by canonical registry spec and
+    // the default mix carries the whittle row the baseline must pin.
+    bench::check_baseline_fields(baseline_path, 2,
                                  {"\"sessions_per_s\"", "\"peak_rss_mib\"", "\"qoe_p99\"",
-                                  "\"total_sessions\"", "\"peak_concurrent\""});
+                                  "\"total_sessions\"", "\"peak_concurrent\"",
+                                  "\"sessions_by_policy\"", "whittle"});
+  }
+  // `--policy SPEC`... replaces the default workload mix (equal weights).
+  std::vector<sim::PolicyMixEntry> mix_override;
+  for (const std::string& spec : bench::policy_specs_arg(argc, argv)) {
+    mix_override.push_back({spec, 1.0});
   }
   const size_t num_shards = count_arg(argc, argv, "--shards", 0);
   const size_t cells_override = count_arg(argc, argv, "--cells", 0);
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
     s.config.workload.arrivals = arrivals;
     s.config.workload.arrival_rate_per_s = rate;
     s.config.workload.arrival_window_s = window_s;
+    if (!mix_override.empty()) s.config.workload.policy_mix = mix_override;
     scenarios.push_back(std::move(s));
   };
   if (smoke) {
@@ -140,8 +153,10 @@ int main(int argc, char** argv) {
               runner.num_threads(), num_shards);
 
   std::vector<Row> rows;
+  std::vector<std::string> policy_specs;  // pool layout (same for every scenario)
   for (const Scenario& scenario : scenarios) {
     sim::FleetSimulator fleet(scenario.config);
+    policy_specs = fleet.policy_specs();
     double start = bench::now_s();
     Row row;
     row.name = scenario.name;
@@ -150,16 +165,23 @@ int main(int argc, char** argv) {
     row.rss_mib = peak_rss_mib();
 
     const sim::FleetAggregates& a = row.agg;
+    // Per-pool session counts, keyed by canonical registry spec: the specs
+    // are a pure function of the workload config, so including them keeps
+    // the row self-describing without breaking cross-thread/shard diffs.
+    std::string by_policy;
+    for (size_t k = 0; k < policy_specs.size(); ++k) {
+      if (k > 0) by_policy += ' ';
+      by_policy += policy_specs[k] + '=' + std::to_string(a.sessions_by_policy[k]);
+    }
     // Determinism row: aggregates only, full precision, no timing. CI diffs
     // these across thread and shard counts.
     std::printf(
         "fleet name=%s cells=%zu sessions=%zu chunks=%zu outages=%zu abandoned=%zu "
-        "peak=%zu bba=%zu rate=%zu fugu=%zu qoe_mean=%.9g qoe_p50=%.9g qoe_p90=%.9g "
+        "peak=%zu policies=[%s] qoe_mean=%.9g qoe_p50=%.9g qoe_p90=%.9g "
         "qoe_p99=%.9g bitrate=%.9g rebuffer=%.9g startup=%.9g\n",
         row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
-        a.peak_concurrent, a.sessions_by_policy[0], a.sessions_by_policy[1],
-        a.sessions_by_policy[2], a.session_qoe.mean(), a.qoe_sketch.quantile(0.5),
-        a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
+        a.peak_concurrent, by_policy.c_str(), a.session_qoe.mean(),
+        a.qoe_sketch.quantile(0.5), a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
         a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
         a.startup_delay_s.mean());
     std::printf("perf  name=%s wall_s=%.3f sessions_per_s=%.0f chunks_per_s=%.0f "
@@ -181,7 +203,7 @@ int main(int argc, char** argv) {
   double max_rss = 0.0;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"config\": {\"threads\": %zu, \"shards\": %zu},\n",
                runner.num_threads(), num_shards);
@@ -193,19 +215,25 @@ int main(int argc, char** argv) {
     total_sessions += a.sessions;
     peak_rate = std::max(peak_rate, rate);
     max_rss = std::max(max_rss, row.rss_mib);
+    // sessions_by_policy keys are the canonical registry specs of the mix.
+    std::string by_policy_json;
+    for (size_t k = 0; k < policy_specs.size(); ++k) {
+      if (k > 0) by_policy_json += ", ";
+      by_policy_json += "\"" + policy_specs[k] +
+                        "\": " + std::to_string(a.sessions_by_policy[k]);
+    }
     std::fprintf(
         f,
         "    {\"name\": \"%s\", \"cells\": %zu, \"sessions\": %zu, \"chunks\": %zu, "
         "\"outages\": %zu, \"abandoned\": %zu, \"peak_concurrent\": %zu, "
-        "\"sessions_by_policy\": {\"bba\": %zu, \"rate_based\": %zu, \"fugu_vi\": %zu}, "
+        "\"sessions_by_policy\": {%s}, "
         "\"qoe_mean\": %.6f, \"qoe_p50\": %.6f, \"qoe_p90\": %.6f, \"qoe_p99\": %.6f, "
         "\"bitrate_mean_kbps\": %.3f, \"rebuffer_mean_s\": %.6f, "
         "\"startup_mean_s\": %.6f, \"wall_s\": %.3f, \"sessions_per_s\": %.1f, "
         "\"chunks_per_s\": %.0f, \"peak_rss_mib\": %.1f}%s\n",
         row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
-        a.peak_concurrent, a.sessions_by_policy[0], a.sessions_by_policy[1],
-        a.sessions_by_policy[2], a.session_qoe.mean(), a.qoe_sketch.quantile(0.5),
-        a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
+        a.peak_concurrent, by_policy_json.c_str(), a.session_qoe.mean(),
+        a.qoe_sketch.quantile(0.5), a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
         a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
         a.startup_delay_s.mean(), row.wall_s, rate,
         static_cast<double>(a.chunks) / row.wall_s, row.rss_mib,

@@ -23,7 +23,11 @@
 //     sessions; reports wall time and sessions/s. Fugu runs twice, once per
 //     planner mode (dp = exact, vi = discretized value iteration), and the
 //     JSON pins both the sessions/s speedup and the vi-vs-dp mean-QoE delta
-//     ("fugu_compare").
+//     ("fugu_compare"); the Whittle index policy runs the same population
+//     and is pinned against both ("whittle_compare").
+//
+// Every policy is built from an abr::PolicyRegistry spec string; extra
+// `--policy SPEC` flags append scale scenarios without recompiling.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,8 +35,8 @@
 #include <string>
 #include <vector>
 
-#include "abr/bba.h"
-#include "abr/fugu.h"
+#include "abr/planner.h"
+#include "abr/registry.h"
 #include "bench_util.h"
 #include "core/experiments.h"
 #include "core/runner.h"
@@ -111,18 +115,22 @@ size_t peak_concurrency(const std::vector<sim::MultiSessionResult>& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--threads", "--trace-integration", "--baseline"},
+  bench::check_flags(argc, argv,
+                     {"--out", "--threads", "--trace-integration", "--baseline", "--policy"},
                      {"--smoke"},
                      "bench_multisession [--smoke] [--out FILE] [--threads N] "
-                     "[--trace-integration indexed|walker] [--baseline FILE]");
+                     "[--trace-integration indexed|walker] [--baseline FILE] "
+                     "[--policy SPEC]...");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_multisession.json");
   const std::string baseline_path = bench::baseline_arg(argc, argv);
   if (!baseline_path.empty()) {
-    // A pre-planner-mode baseline must fail here, not silently diff clean.
-    bench::check_baseline_fields(baseline_path, 2,
-                                 {"\"planner\"", "\"fugu_compare\"",
-                                  "\"qoe_delta_vs_exact\"", "\"fugu_vi_sessions_per_s\""});
+    // A baseline predating the planner modes (schema v2) or the registry
+    // specs + whittle rows (v3) must fail here, not silently diff clean.
+    bench::check_baseline_fields(baseline_path, 3,
+                                 {"\"planner\"", "\"fugu_compare\"", "\"whittle_compare\"",
+                                  "\"qoe_delta_vs_exact\"", "\"fugu_vi_sessions_per_s\"",
+                                  "\"spec\"", "\"whittle\""});
   }
   const net::TraceIntegration integration = bench::trace_integration_arg(argc, argv);
   core::ExperimentRunner runner(bench::threads_arg(argc, argv));
@@ -145,11 +153,8 @@ int main(int argc, char** argv) {
     sim::PlayerConfig config;
     for (const media::EncodedVideo& video : videos) {
       for (const net::ThroughputTrace& trace : traces) {
-        for (int kind = 0; kind < 2; ++kind) {
-          auto make = [&]() -> std::unique_ptr<sim::AbrPolicy> {
-            if (kind == 0) return std::make_unique<abr::BbaAbr>();
-            return std::make_unique<abr::FuguAbr>();
-          };
+        for (const char* policy_spec : {"bba", "fugu"}) {
+          auto make = [policy_spec] { return abr::make_policy(policy_spec); };
           auto player_policy = make();
           sim::SessionResult expected =
               sim::Player(config).stream(video, trace, *player_policy);
@@ -188,8 +193,8 @@ int main(int argc, char** argv) {
         cells.push_back(cell);
       }
     }
-    auto factory = [] { return std::make_unique<abr::BbaAbr>(); };
-    auto results = core::Experiments::run_multisession_grid(cells, factory, false, runner);
+    auto results = core::Experiments::run_multisession_grid(
+        cells, core::Experiments::policy_factory("bba"), false, runner);
     for (size_t c = 0; c < cells.size(); ++c) {
       grid_rows.push_back({cells[c], aggregate(results[c])});
       const GridRow& row = grid_rows.back();
@@ -205,8 +210,9 @@ int main(int argc, char** argv) {
 
   // ---- 3. scale: contention scenarios up to >= 1000 concurrent sessions ---
   struct ScenarioRow {
-    std::string policy;
-    std::string planner;  // "dp"/"vi" for fugu rows, "-" for planner-less policies
+    std::string spec;     // the registry spec as given on the scenario
+    std::string policy;   // canonical registry name
+    std::string planner;  // planner key for the fugu family, "-" otherwise
     size_t sessions = 0;
     double stagger_s = 0.0;
     double wall_s = 0.0;
@@ -230,29 +236,41 @@ int main(int argc, char** argv) {
     net::ThroughputTrace base = net::TraceGenerator::cellular("ms-bottleneck", 1700, 500.0, 77);
 
     struct ScenarioSpec {
-      const char* policy;
+      std::string spec;  // registry spec string
       size_t sessions;
-      // Fugu rows only: which lookahead engine (kDp = exact baseline,
-      // kVi = discretized). The same session population runs under both so
-      // the JSON can pin the sessions/s speedup and the QoE delta.
-      abr::PlannerKind planner = abr::PlannerKind::kDp;
     };
+    // Fugu runs the same population once per planner mode (dp = exact
+    // baseline, vi = discretized) so the JSON can pin the sessions/s
+    // speedup and the QoE delta; whittle runs it too for whittle_compare.
     std::vector<ScenarioSpec> scenarios =
-        smoke ? std::vector<ScenarioSpec>{{"bba", 50, abr::PlannerKind::kDp},
-                                          {"bba", 200, abr::PlannerKind::kDp},
-                                          {"fugu", 40, abr::PlannerKind::kDp},
-                                          {"fugu", 40, abr::PlannerKind::kVi}}
-              : std::vector<ScenarioSpec>{{"bba", 100, abr::PlannerKind::kDp},
-                                          {"fugu", 100, abr::PlannerKind::kDp},
-                                          {"fugu", 100, abr::PlannerKind::kVi},
-                                          {"bba", 400, abr::PlannerKind::kDp},
-                                          {"bba", 1000, abr::PlannerKind::kDp}};
+        smoke ? std::vector<ScenarioSpec>{{"bba", 50},
+                                          {"bba", 200},
+                                          {"fugu:planner=dp", 40},
+                                          {"fugu:planner=vi", 40},
+                                          {"whittle", 40}}
+              : std::vector<ScenarioSpec>{{"bba", 100},
+                                          {"fugu:planner=dp", 100},
+                                          {"fugu:planner=vi", 100},
+                                          {"whittle", 100},
+                                          {"bba", 400},
+                                          {"bba", 1000}};
+    // Extra `--policy SPEC` scenarios append at the smoke fugu population
+    // size so a one-off policy is comparable against the pinned rows.
+    for (const std::string& spec : bench::policy_specs_arg(argc, argv)) {
+      scenarios.push_back({spec, smoke ? size_t{40} : size_t{100}});
+    }
     std::printf("scale: staggered arrivals on a shared bottleneck of N x 1700 Kbps "
                 "(%zu thread(s) build the cells; the event loop itself is serial)\n",
                 runner.num_threads());
-    std::printf("%8s %8s %9s %10s %12s %12s %10s %8s\n", "policy", "planner", "sessions",
+    std::printf("%18s %8s %9s %10s %12s %12s %10s %8s\n", "policy", "planner", "sessions",
                 "peak", "wall s", "sessions/s", "chunks/s", "outages");
+    const abr::PolicyRegistry& registry = abr::PolicyRegistry::instance();
     for (const ScenarioSpec& scenario : scenarios) {
+      // Canonicalize once per scenario: the display columns (name, planner
+      // mode) come from the canonical form, construction from the registry.
+      abr::PolicySpec canonical =
+          registry.canonicalize(abr::PolicySpec::parse(scenario.spec));
+      const std::string* planner_value = canonical.find("planner");
       // Bottleneck sized for a ~1700 Kbps per-viewer fair share, like a CDN
       // edge serving N concurrent players.
       net::ThroughputTrace bottleneck = base.scaled(
@@ -263,15 +281,8 @@ int main(int argc, char** argv) {
       const double stagger_s = 50.0 / static_cast<double>(scenario.sessions);
       std::vector<std::unique_ptr<sim::AbrPolicy>> policies;
       std::vector<sim::AbrPolicy*> policy_ptrs;
-      const bool is_fugu = std::string(scenario.policy) == "fugu";
       for (size_t k = 0; k < scenario.sessions; ++k) {
-        if (is_fugu) {
-          abr::FuguConfig fc;
-          fc.planner = scenario.planner;
-          policies.push_back(std::make_unique<abr::FuguAbr>(fc));
-        } else {
-          policies.push_back(std::make_unique<abr::BbaAbr>());
-        }
+        policies.push_back(registry.make(canonical));
         policy_ptrs.push_back(policies.back().get());
       }
       auto specs = sim::StaggeredSpecs{video_ptrs, policy_ptrs, {}, scenario.sessions,
@@ -282,9 +293,9 @@ int main(int argc, char** argv) {
       double wall = bench::now_s() - start;
 
       ScenarioRow row;
-      row.policy = scenario.policy;
-      row.planner =
-          is_fugu ? (scenario.planner == abr::PlannerKind::kVi ? "vi" : "dp") : "-";
+      row.spec = scenario.spec;
+      row.policy = canonical.name;
+      row.planner = planner_value != nullptr ? *planner_value : "-";
       row.sessions = scenario.sessions;
       row.stagger_s = stagger_s;
       row.wall_s = wall;
@@ -298,7 +309,7 @@ int main(int argc, char** argv) {
         }
       }
       scenario_rows.push_back(row);
-      std::printf("%8s %8s %9zu %10zu %12.3f %12.1f %10.0f %8zu\n", row.policy.c_str(),
+      std::printf("%18s %8s %9zu %10zu %12.3f %12.1f %10.0f %8zu\n", row.policy.c_str(),
                   row.planner.c_str(), row.sessions, row.peak_concurrent, row.wall_s,
                   static_cast<double>(row.sessions) / row.wall_s,
                   static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages);
@@ -313,7 +324,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"multisession\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"config\": {\"threads\": %zu, \"trace_integration\": \"%s\"},\n",
                runner.num_threads(),
@@ -342,12 +353,12 @@ int main(int argc, char** argv) {
     max_sessions = std::max(max_sessions, row.peak_concurrent);
     peak_rate = std::max(peak_rate, rate);
     std::fprintf(f,
-                 "    {\"policy\": \"%s\", \"planner\": \"%s\", \"sessions\": %zu, "
-                 "\"peak_concurrent\": %zu, "
+                 "    {\"spec\": \"%s\", \"policy\": \"%s\", \"planner\": \"%s\", "
+                 "\"sessions\": %zu, \"peak_concurrent\": %zu, "
                  "\"stagger_s\": %.6g, \"link\": \"shared\", \"wall_s\": %.4f, "
                  "\"sessions_per_s\": %.1f, \"chunks\": %zu, \"chunks_per_s\": %.0f, "
                  "\"outages\": %zu, \"sim_duration_s\": %.1f, \"mean_qoe\": %.6f}%s\n",
-                 row.policy.c_str(), row.planner.c_str(), row.sessions,
+                 row.spec.c_str(), row.policy.c_str(), row.planner.c_str(), row.sessions,
                  row.peak_concurrent, row.stagger_s, row.wall_s, rate, row.agg.chunks,
                  static_cast<double>(row.agg.chunks) / row.wall_s, row.agg.outages,
                  row.sim_duration_s, row.mean_qoe, i + 1 < scenario_rows.size() ? "," : "");
@@ -357,14 +368,16 @@ int main(int argc, char** argv) {
   // Discretized-vs-exact comparison over the paired Fugu scenarios: the
   // speedup the vi planner buys at fleet scale, and what it costs in mean
   // per-chunk QoE against the bit-exact dp baseline.
+  const ScenarioRow* dp_row = nullptr;
+  const ScenarioRow* vi_row = nullptr;
+  const ScenarioRow* whittle_row = nullptr;
+  for (const ScenarioRow& row : scenario_rows) {
+    if (row.policy == "whittle" && whittle_row == nullptr) whittle_row = &row;
+    if (row.policy != "fugu") continue;
+    if (row.planner == "dp" && dp_row == nullptr) dp_row = &row;
+    if (row.planner == "vi" && vi_row == nullptr) vi_row = &row;
+  }
   {
-    const ScenarioRow* dp_row = nullptr;
-    const ScenarioRow* vi_row = nullptr;
-    for (const ScenarioRow& row : scenario_rows) {
-      if (row.policy != "fugu") continue;
-      if (row.planner == "dp" && dp_row == nullptr) dp_row = &row;
-      if (row.planner == "vi" && vi_row == nullptr) vi_row = &row;
-    }
     if (dp_row != nullptr && vi_row != nullptr) {
       double dp_rate = static_cast<double>(dp_row->sessions) / dp_row->wall_s;
       double vi_rate = static_cast<double>(vi_row->sessions) / vi_row->wall_s;
@@ -382,6 +395,29 @@ int main(int argc, char** argv) {
                   vi_row->mean_qoe - dp_row->mean_qoe);
     } else {
       std::fprintf(f, "  \"fugu_compare\": null,\n");
+    }
+  }
+
+  // The index-policy headline: Whittle's sessions/s against Fugu's exact
+  // planner (the >= 10x claim) and its mean-QoE delta against the
+  // fleet-scale Fugu-vi it displaces in the workload mix.
+  {
+    if (whittle_row != nullptr && dp_row != nullptr && vi_row != nullptr) {
+      double whittle_rate =
+          static_cast<double>(whittle_row->sessions) / whittle_row->wall_s;
+      double dp_rate = static_cast<double>(dp_row->sessions) / dp_row->wall_s;
+      std::fprintf(f,
+                   "  \"whittle_compare\": {\"sessions\": %zu, "
+                   "\"whittle_sessions_per_s\": %.1f, \"speedup_vs_fugu_dp\": %.2f, "
+                   "\"whittle_mean_qoe\": %.6f, \"qoe_delta_vs_fugu_vi\": %.6f},\n",
+                   whittle_row->sessions, whittle_rate, whittle_rate / dp_rate,
+                   whittle_row->mean_qoe, whittle_row->mean_qoe - vi_row->mean_qoe);
+      std::printf("whittle_compare: %.1f sessions/s (%.1fx fugu-dp), "
+                  "qoe delta vs fugu-vi %+.4f\n",
+                  whittle_rate, whittle_rate / dp_rate,
+                  whittle_row->mean_qoe - vi_row->mean_qoe);
+    } else {
+      std::fprintf(f, "  \"whittle_compare\": null,\n");
     }
   }
   std::fprintf(f,

@@ -10,6 +10,7 @@
 //   ./bench_session_throughput --smoke      reduced sweep for CI (~5 s)
 //   ./bench_session_throughput --out FILE   JSON destination
 //   ./bench_session_throughput --threads N  worker-pool size for the grids
+//   ./bench_session_throughput --policy S   extra registry spec row (repeatable)
 //
 // Results of the two integration modes are cross-checked while timing; any
 // elapsed_s/dead-link/ session-output mismatch fails the process (the same
@@ -19,13 +20,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "abr/bba.h"
-#include "abr/fugu.h"
-#include "abr/rate_based.h"
+#include "abr/registry.h"
 #include "bench_util.h"
 #include "core/runner.h"
 #include "media/dataset.h"
@@ -107,11 +107,28 @@ double time_advances_ns(const net::ThroughputTrace& looping,
 
 // --- whole-session grid ----------------------------------------------------
 
-struct PolicySpec {
+// A bench row: a registry policy spec plus its display name. `make` builds
+// through the policy registry, so this bench exercises exactly the same
+// construction path as the fleet/grid layers.
+struct PolicyCase {
   std::string name;
   std::function<std::unique_ptr<sim::AbrPolicy>()> make;
   bool use_weights = false;
 };
+
+// SENSEI variants consume the per-chunk sensitivity weights; everything
+// else streams without them.
+bool spec_uses_weights(const abr::PolicySpec& canonical) {
+  return canonical.name.rfind("sensei-", 0) == 0;
+}
+
+PolicyCase registry_case(std::string display, const std::string& spec_text) {
+  abr::PolicySpec canonical =
+      abr::PolicyRegistry::instance().canonicalize(abr::PolicySpec::parse(spec_text));
+  const std::string canonical_text = canonical.to_string();
+  return {std::move(display), [canonical_text] { return abr::make_policy(canonical_text); },
+          spec_uses_weights(canonical)};
+}
 
 struct GridOutput {
   std::vector<sim::SessionResult> sessions;
@@ -121,7 +138,7 @@ struct GridOutput {
 
 GridOutput run_sessions(const std::vector<media::EncodedVideo>& videos,
                         const std::vector<net::ThroughputTrace>& traces,
-                        const PolicySpec& spec,
+                        const PolicyCase& spec,
                         const std::vector<std::vector<double>>& weights,
                         const core::ExperimentRunner& runner) {
   GridOutput out;
@@ -154,8 +171,9 @@ size_t diff_sessions(const std::vector<sim::SessionResult>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--threads"}, {"--smoke"},
-                     "bench_session_throughput [--smoke] [--out FILE] [--threads N]");
+  bench::check_flags(argc, argv, {"--out", "--threads", "--policy"}, {"--smoke"},
+                     "bench_session_throughput [--smoke] [--out FILE] [--threads N] "
+                     "[--policy SPEC]...");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_session.json");
   const uint64_t seed = 0x5e551011;
@@ -233,19 +251,18 @@ int main(int argc, char** argv) {
     weights.push_back(std::move(w));
   }
 
-  std::vector<PolicySpec> policies;
-  policies.push_back({"bba", [] { return std::make_unique<abr::BbaAbr>(); }, false});
+  // Default rows keep their historical display names (the pinned
+  // BENCH_session.json keys) but construct through the registry.
+  std::vector<PolicyCase> policies;
+  policies.push_back(registry_case("bba", "bba"));
   if (!smoke) {
-    policies.push_back(
-        {"rate_based", [] { return std::make_unique<abr::RateBasedAbr>(); }, false});
-    policies.push_back({"fugu", [] { return std::make_unique<abr::FuguAbr>(); }, false});
+    policies.push_back(registry_case("rate_based", "rate_based"));
+    policies.push_back(registry_case("fugu", "fugu"));
   }
-  {
-    abr::FuguConfig cfg;
-    cfg.use_weights = true;
-    cfg.rebuffer_options = {0.0, 1.0, 2.0};
-    policies.push_back(
-        {"sensei_fugu", [cfg] { return std::make_unique<abr::FuguAbr>(cfg); }, true});
+  policies.push_back(registry_case("sensei_fugu", "sensei-fugu"));
+  for (const std::string& extra : bench::policy_specs_arg(argc, argv)) {
+    const std::string canonical = abr::PolicyRegistry::instance().canonical_string(extra);
+    policies.push_back(registry_case(canonical, extra));
   }
 
   struct SessionRow {

@@ -144,6 +144,19 @@ inline size_t threads_arg(int argc, char** argv) {
   return 0;
 }
 
+// Collects every `--policy SPEC` occurrence: abr::PolicyRegistry spec
+// strings ("bba", "fugu:planner=vi", ... — grammar in abr/registry.h) the
+// spec-driven benches append to or substitute for their default policy
+// set. Syntax/vocabulary validation is the registry's job, so a bad spec
+// fails with the registry's position-annotated error at construction.
+inline std::vector<std::string> policy_specs_arg(int argc, char** argv) {
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) specs.push_back(argv[i + 1]);
+  }
+  return specs;
+}
+
 // Monotonic wall clock in seconds, for the timing loops of the perf benches.
 inline double now_s() {
   return std::chrono::duration<double>(

@@ -4,9 +4,9 @@
 // the per-chunk log.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
-#include "abr/bba.h"
-#include "abr/rate_based.h"
+#include "abr/registry.h"
 #include "core/sensei.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
@@ -29,21 +29,23 @@ int main(int argc, char** argv) {
   core::Sensei sensei(oracle);
   auto profiled = sensei.profile(video);
 
-  abr::BbaAbr bba;
-  abr::RateBasedAbr rate_based;
-  auto fugu = core::Sensei::make_fugu();
-  auto sensei_fugu = core::Sensei::make_sensei_fugu();
-
   sim::Player player;
   util::Table summary(
       {"ABR", "outcome", "true QoE", "mean Kbps", "rebuffer s", "scheduled s", "switches"});
 
+  // Every ABR in the library, by registry spec (grammar in abr/registry.h);
+  // only the SENSEI variant consumes the sensitivity weights.
   struct Entry {
-    sim::AbrPolicy* policy;
+    const char* spec;
     bool weighted;
+    std::unique_ptr<sim::AbrPolicy> policy;
   };
-  std::vector<Entry> entries = {
-      {&bba, false}, {&rate_based, false}, {fugu.get(), false}, {sensei_fugu.get(), true}};
+  std::vector<Entry> entries;
+  entries.push_back({"bba", false, nullptr});
+  entries.push_back({"rate_based", false, nullptr});
+  entries.push_back({"fugu", false, nullptr});
+  entries.push_back({"sensei-fugu", true, nullptr});
+  for (auto& entry : entries) entry.policy = abr::make_policy(entry.spec);
 
   sim::SessionResult sensei_session, fugu_session;
   for (const auto& entry : entries) {
@@ -65,8 +67,8 @@ int main(int argc, char** argv) {
                      util::Table::format_double(session.total_rebuffer_s(), 1),
                      util::Table::format_double(scheduled, 1),
                      std::to_string(session.switch_count())});
-    if (entry.policy == sensei_fugu.get()) sensei_session = session;
-    if (entry.policy == fugu.get()) fugu_session = session;
+    if (std::string(entry.spec) == "sensei-fugu") sensei_session = session;
+    if (std::string(entry.spec) == "fugu") fugu_session = session;
   }
   std::printf("%s (%s) over %s (%.0f Kbps mean)\n\n%s\n", source.name().c_str(),
               source.length_string().c_str(), trace.name().c_str(), trace.mean_kbps(),

@@ -5,7 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "abr/bba.h"
+#include "abr/registry.h"
 #include "core/sensei.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
@@ -37,9 +37,10 @@ int main() {
   core::Sensei sensei(oracle);
   auto profiled = sensei.profile(video);
 
-  abr::BbaAbr bba;
-  auto fugu = core::Sensei::make_fugu();
-  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+  // All three ABRs by registry spec (grammar in abr/registry.h).
+  auto bba = abr::make_policy("bba");
+  auto fugu = abr::make_policy("fugu");
+  auto sensei_fugu = abr::make_policy("sensei-fugu");
 
   const std::vector<double> scales = {0.25, 0.35, 0.45, 0.55, 0.7, 0.85, 1.0};
   std::printf("QoE of each ABR as the link is scaled down (%s, base %.1f Mbps):\n\n",
@@ -48,7 +49,7 @@ int main() {
   std::vector<double> q_bba, q_fugu, q_sensei;
   const std::vector<double> none;
   for (double s : scales) {
-    q_bba.push_back(mean_qoe_at_scale(bba, video, base, s, none, oracle));
+    q_bba.push_back(mean_qoe_at_scale(*bba, video, base, s, none, oracle));
     q_fugu.push_back(mean_qoe_at_scale(*fugu, video, base, s, none, oracle));
     q_sensei.push_back(
         mean_qoe_at_scale(*sensei_fugu, video, base, s, profiled.profile.weights, oracle));

@@ -5,6 +5,7 @@
 //               ./build/examples/quickstart
 #include <cstdio>
 
+#include "abr/registry.h"
 #include "core/sensei.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
@@ -68,8 +69,10 @@ int main() {
     return qoe;
   };
 
-  auto fugu = core::Sensei::make_fugu();
-  auto sensei_fugu = core::Sensei::make_sensei_fugu();
+  // Both controllers come from the policy registry (spec grammar in
+  // abr/registry.h) — the same strings work in the benches and the fleet.
+  auto fugu = abr::make_policy("fugu");
+  auto sensei_fugu = abr::make_policy("sensei-fugu");
   double base = evaluate(*fugu, {});
   double ours = evaluate(*sensei_fugu, profiled.profile.weights);
 

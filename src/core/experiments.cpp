@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "abr/registry.h"
 #include "qoe/ksqi.h"
 
 namespace sensei::core {
@@ -128,6 +129,28 @@ abr::PensieveAbr& Experiments::pensieve() {
 abr::PensieveAbr& Experiments::sensei_pensieve() {
   static abr::PensieveAbr* kPolicy = train_selected(true, weights(), {42, 142, 242});
   return *kPolicy;
+}
+
+Experiments::PolicyFactory Experiments::policy_factory(const std::string& spec) {
+  const abr::PolicyRegistry& registry = abr::PolicyRegistry::instance();
+  abr::PolicySpec canonical = registry.canonicalize(abr::PolicySpec::parse(spec));
+  if (canonical.name == "pensieve" || canonical.name == "sensei-pensieve") {
+    // Trained-net overlay: the registry builds a freshly seeded, untrained
+    // net, but grid callers want the cached trained one. The cache exists
+    // only at the default configuration, so non-default keys are an error
+    // rather than silently ignored.
+    abr::PolicySpec defaults;
+    defaults.name = canonical.name;
+    if (!(canonical == registry.canonicalize(defaults))) {
+      throw std::runtime_error("policy spec \"" + spec + "\": trained " + canonical.name +
+                               " is cached at default keys only");
+    }
+    bool sensei_mode = canonical.name == "sensei-pensieve";
+    return [sensei_mode]() -> std::unique_ptr<sim::AbrPolicy> {
+      return std::make_unique<abr::PensieveAbr>(sensei_mode ? sensei_pensieve() : pensieve());
+    };
+  }
+  return [canonical, &registry] { return registry.make(canonical); };
 }
 
 Experiments::RunResult Experiments::run(const media::EncodedVideo& video,

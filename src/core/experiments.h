@@ -62,6 +62,15 @@ class Experiments {
   //   [] { return std::make_unique<abr::PensieveAbr>(Experiments::pensieve()); }
   using PolicyFactory = std::function<std::unique_ptr<sim::AbrPolicy>()>;
 
+  // A PolicyFactory from a registry spec string ("bba", "fugu:planner=vi",
+  // "whittle:safety=0.85" — see abr/registry.h for the grammar). The spec
+  // is validated eagerly, so a bad name/key/value throws at the call site
+  // rather than inside a worker. Two names are overlaid: "pensieve" and
+  // "sensei-pensieve" yield copies of the cached *trained* instances above
+  // (the registry alone builds untrained nets) and therefore accept only
+  // default keys.
+  static PolicyFactory policy_factory(const std::string& spec);
+
   // Fans the (video × trace) product over `runner` and returns results in
   // row-major order: cell (v, t) lands at index v * traces.size() + t,
   // bit-identical to the serial double loop regardless of thread count.

@@ -6,10 +6,8 @@
 #include <stdexcept>
 #include <string>
 
-#include "abr/bba.h"
-#include "abr/fugu.h"
 #include "abr/planner.h"
-#include "abr/rate_based.h"
+#include "abr/registry.h"
 #include "core/runner.h"
 #include "net/shared_link.h"
 #include "qoe/chunk_quality.h"
@@ -26,19 +24,6 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // keeps reset() reference-valid without per-session storage.
 const std::vector<double> kNoWeights;
 
-std::unique_ptr<AbrPolicy> make_policy(WorkloadPolicy kind) {
-  switch (kind) {
-    case WorkloadPolicy::kBba: return std::make_unique<abr::BbaAbr>();
-    case WorkloadPolicy::kRateBased: return std::make_unique<abr::RateBasedAbr>();
-    case WorkloadPolicy::kFuguVi: {
-      abr::FuguConfig fc;
-      fc.planner = abr::PlannerKind::kVi;  // the fleet-scale planner mode
-      return std::make_unique<abr::FuguAbr>(fc);
-    }
-  }
-  throw std::runtime_error("fleet: unknown workload policy");
-}
-
 }  // namespace
 
 void FleetAggregates::merge(const FleetAggregates& other) {
@@ -47,7 +32,12 @@ void FleetAggregates::merge(const FleetAggregates& other) {
   chunks += other.chunks;
   outages += other.outages;
   abandoned += other.abandoned;
-  for (size_t k = 0; k < 3; ++k) sessions_by_policy[k] += other.sessions_by_policy[k];
+  if (sessions_by_policy.size() < other.sessions_by_policy.size()) {
+    sessions_by_policy.resize(other.sessions_by_policy.size(), 0);
+  }
+  for (size_t k = 0; k < other.sessions_by_policy.size(); ++k) {
+    sessions_by_policy[k] += other.sessions_by_policy[k];
+  }
   peak_concurrent = std::max(peak_concurrent, other.peak_concurrent);
   session_qoe.merge(other.session_qoe);
   session_bitrate_kbps.merge(other.session_bitrate_kbps);
@@ -60,12 +50,29 @@ FleetSimulator::FleetSimulator(FleetConfig config) : config_(std::move(config)) 
   if (config_.num_cells == 0) throw std::runtime_error("fleet: need at least one cell");
   if (config_.link_scale < 0.0) throw std::runtime_error("fleet: link scale must be >= 0");
   // Fail config mistakes at construction, not on worker threads mid-run:
-  // the generator's constructor runs the full validation suite. num_videos
-  // is excluded — run() overrides it with the actual pool size.
+  // the generator's constructor runs the full validation suite (including
+  // registry validation of every policy spec). num_videos is excluded —
+  // run() overrides it with the actual pool size.
   WorkloadConfig probe_config = config_.workload;
   probe_config.num_videos = 1;
   WorkloadGenerator probe(probe_config, 0);
-  (void)probe;
+
+  // Policy pooling tables: mix entries that canonicalize to the same spec
+  // share one pool (and one sessions_by_policy slot), keyed in first-
+  // occurrence order so the layout is a pure function of the config.
+  const std::vector<std::string>& specs = probe.canonical_policy_specs();
+  mix_to_pool_.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    size_t pool = pool_specs_.size();
+    for (size_t i = 0; i < pool_specs_.size(); ++i) {
+      if (pool_specs_[i] == spec) {
+        pool = i;
+        break;
+      }
+    }
+    if (pool == pool_specs_.size()) pool_specs_.push_back(spec);
+    mix_to_pool_.push_back(pool);
+  }
 }
 
 FleetAggregates FleetSimulator::run(const std::vector<const media::EncodedVideo*>& videos,
@@ -118,6 +125,7 @@ FleetAggregates FleetSimulator::run_cell(
 
   FleetAggregates agg;
   agg.cells = 1;
+  agg.sessions_by_policy.assign(pool_specs_.size(), 0);
   const qoe::ChunkQualityParams qoe_params;
 
   // Session slots: engine + bound policy, recycled across sessions. All
@@ -129,7 +137,8 @@ FleetAggregates FleetSimulator::run_cell(
   };
   std::vector<Slot> slots;
   std::vector<size_t> free_slots;
-  std::vector<std::unique_ptr<AbrPolicy>> policy_pool[3];
+  // One policy pool per unique canonical spec (pool_specs_ order).
+  std::vector<std::vector<std::unique_ptr<AbrPolicy>>> policy_pool(pool_specs_.size());
   abr::PlanBatch batch;
   EventQueue events;
   std::vector<size_t> transfer_owner;  // transfer id -> slot (ids recycled)
@@ -152,12 +161,13 @@ FleetAggregates FleetSimulator::run_cell(
     }
     Slot& slot = slots[idx];
     slot.arrival = a;
-    auto& pool = policy_pool[static_cast<size_t>(a.policy)];
+    const size_t pool_idx = mix_to_pool_[a.policy_index];
+    auto& pool = policy_pool[pool_idx];
     if (!pool.empty()) {
       slot.policy = std::move(pool.back());
       pool.pop_back();
     } else {
-      slot.policy = make_policy(a.policy);
+      slot.policy = abr::make_policy(pool_specs_[pool_idx]);
     }
     if (config_.player.share_plan_tables) slot.policy->attach_plan_batch(&batch);
     const media::EncodedVideo& video = *videos[a.video_index];
@@ -180,7 +190,7 @@ FleetAggregates FleetSimulator::run_cell(
 
     ++agg.sessions;
     agg.chunks += recs.size();
-    ++agg.sessions_by_policy[static_cast<size_t>(slot.arrival.policy)];
+    ++agg.sessions_by_policy[mix_to_pool_[slot.arrival.policy_index]];
     const media::EncodedVideo& video = *videos[slot.arrival.video_index];
     if (engine.outcome() == SessionOutcome::kOutage) {
       ++agg.outages;
@@ -204,7 +214,7 @@ FleetAggregates FleetSimulator::run_cell(
     }
     if (config_.on_session_done) config_.on_session_done(cell, slot.arrival, engine);
 
-    policy_pool[static_cast<size_t>(slot.arrival.policy)].push_back(std::move(slot.policy));
+    policy_pool[mix_to_pool_[slot.arrival.policy_index]].push_back(std::move(slot.policy));
     free_slots.push_back(idx);
     --active;
   };

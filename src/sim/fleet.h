@@ -15,7 +15,9 @@
 //    the next arrival instead of destroyed — with record_timeline off, the
 //    steady-state event loop performs zero allocations (pinned by
 //    tests/test_fleet_alloc.cpp);
-//  - policies are pooled per ABR kind the same way (begin_session resets);
+//  - policies are pooled per unique canonical registry spec the same way
+//    (begin_session resets; mix entries denoting the same configuration
+//    share one pool);
 //  - the link recycles transfer ids (SharedLink recycle_ids), so all
 //    per-cell state is bounded by *peak concurrency*, not session count;
 //  - no per-session results are retained: each finished session folds into
@@ -33,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "media/encoder.h"
@@ -57,8 +60,10 @@ struct FleetAggregates {
   size_t chunks = 0;
   size_t outages = 0;
   size_t abandoned = 0;  // completed early via the viewer's chunk limit
-  // Sessions per WorkloadPolicy, indexed by its enum value.
-  size_t sessions_by_policy[3] = {0, 0, 0};
+  // Sessions per unique canonical policy spec, parallel to
+  // FleetSimulator::policy_specs(). Empty until a run fills it; merge()
+  // grows it to the larger operand.
+  std::vector<size_t> sessions_by_policy;
   // Largest number of simultaneously active sessions in any one cell — the
   // quantity all per-cell memory is bounded by.
   size_t peak_concurrent = 0;
@@ -106,6 +111,12 @@ class FleetSimulator {
 
   const FleetConfig& config() const { return config_; }
 
+  // The unique canonical policy specs of the workload mix, in first-
+  // occurrence order: FleetAggregates::sessions_by_policy[i] counts the
+  // sessions that ran policy_specs()[i]. Mix entries that canonicalize to
+  // the same spec share one pool slot (and one count).
+  const std::vector<std::string>& policy_specs() const { return pool_specs_; }
+
   // Runs every cell to completion and returns the fleet-wide aggregates.
   // `videos` is the shared pool arrivals draw from (workload.num_videos is
   // overridden to its size); all pointers must outlive the call. Cells are
@@ -120,6 +131,10 @@ class FleetSimulator {
                            const std::vector<const media::EncodedVideo*>& videos) const;
 
   FleetConfig config_;
+  // Policy pooling tables, precomputed from the workload mix via the
+  // registry: mix entry i runs the policy pool mix_to_pool_[i] keys.
+  std::vector<std::string> pool_specs_;
+  std::vector<size_t> mix_to_pool_;
 };
 
 }  // namespace sensei::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "abr/registry.h"
 #include "net/trace_gen.h"
 
 namespace sensei::sim {
@@ -25,15 +26,6 @@ const char* to_string(ArrivalProcess process) {
   return "?";
 }
 
-const char* to_string(WorkloadPolicy policy) {
-  switch (policy) {
-    case WorkloadPolicy::kBba: return "bba";
-    case WorkloadPolicy::kRateBased: return "rate_based";
-    case WorkloadPolicy::kFuguVi: return "fugu_vi";
-  }
-  return "?";
-}
-
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config, uint64_t seed)
     : config_(config), rng_(seed ^ kArrivalSalt), seed_(seed) {
   if (!(config_.arrival_rate_per_s > 0.0))
@@ -48,13 +40,19 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config, uint64_t seed
     throw std::runtime_error("workload: abandon fraction must be in [0, 1]");
   if (config_.abandon_fraction > 0.0 && !(config_.mean_abandon_chunks >= 1.0))
     throw std::runtime_error("workload: mean abandon chunks must be >= 1");
-  if (config_.policy_mix.empty() ||
-      config_.policy_mix.size() > 3)  // {kBba, kRateBased, kFuguVi}
-    throw std::runtime_error("workload: policy mix must weight 1-3 policies");
+  if (config_.policy_mix.empty())
+    throw std::runtime_error("workload: policy mix must weight at least one policy");
+  // Canonicalize every mix spec now: a typo fails here at construction, not
+  // on a worker thread mid-run, and downstream pooling keys on the result.
+  const abr::PolicyRegistry& registry = abr::PolicyRegistry::instance();
+  canonical_specs_.reserve(config_.policy_mix.size());
+  mix_weights_.reserve(config_.policy_mix.size());
   double mix_sum = 0.0;
-  for (double w : config_.policy_mix) {
-    if (w < 0.0) throw std::runtime_error("workload: policy weights must be >= 0");
-    mix_sum += w;
+  for (const PolicyMixEntry& entry : config_.policy_mix) {
+    if (entry.weight < 0.0) throw std::runtime_error("workload: policy weights must be >= 0");
+    mix_sum += entry.weight;
+    canonical_specs_.push_back(registry.canonical_string(entry.spec));
+    mix_weights_.push_back(entry.weight);
   }
   if (!(mix_sum > 0.0)) throw std::runtime_error("workload: policy mix must have weight");
   if (config_.num_videos == 0) throw std::runtime_error("workload: empty video pool");
@@ -85,10 +83,7 @@ bool WorkloadGenerator::next(SessionArrival* out) {
           ? 0
           : static_cast<size_t>(rng_.uniform(0.0, static_cast<double>(config_.num_videos)));
   if (out->video_index >= config_.num_videos) out->video_index = config_.num_videos - 1;
-  size_t pick = rng_.weighted_index(config_.policy_mix);
-  out->policy = pick == 0   ? WorkloadPolicy::kBba
-                : pick == 1 ? WorkloadPolicy::kRateBased
-                            : WorkloadPolicy::kFuguVi;
+  out->policy_index = rng_.weighted_index(mix_weights_);
   if (config_.abandon_fraction > 0.0 && rng_.chance(config_.abandon_fraction)) {
     // At least one chunk: a viewer who leaves before any download is
     // indistinguishable from one who never arrived.

@@ -16,9 +16,9 @@
 //    raised-cosine day curve between a trough fraction and the peak rate.
 //  - Abandonment: a fraction of viewers leave early, watching an
 //    exponentially distributed number of chunks (at least one).
-//  - Policy mix: each viewer runs one of the shipped ABR families (BBA,
-//    rate-based, Fugu with the discretized-VI planner — the fleet-scale
-//    planner mode).
+//  - Policy mix: each viewer runs one abr::PolicyRegistry spec drawn from a
+//    weighted mix (any registered policy at any configuration — the default
+//    mix pairs the cheap index policies with Fugu's fleet-scale vi planner).
 //  - Bottleneck: each cell gets its own net::TraceGenerator trace (cellular
 //    or broadband, mean drawn from the paper's 0.2-6 Mbps band) from an
 //    independent stream derived off the same seed, so reordering arrival
@@ -39,13 +39,14 @@ enum class ArrivalProcess {
   kDiurnal,  // raised-cosine day curve, thinned from the peak rate
 };
 
-// The ABR families a generated viewer may run. kFuguVi selects the
-// discretized value-iteration planner (abr::PlannerKind::kVi), the
-// fleet-scale Fugu mode.
-enum class WorkloadPolicy { kBba, kRateBased, kFuguVi };
-
 const char* to_string(ArrivalProcess process);
-const char* to_string(WorkloadPolicy policy);
+
+// One entry of the workload's policy mix: a registry spec string (see
+// abr/registry.h for the grammar) with a relative draw weight.
+struct PolicyMixEntry {
+  std::string spec;
+  double weight = 1.0;
+};
 
 struct WorkloadConfig {
   ArrivalProcess arrivals = ArrivalProcess::kPoisson;
@@ -63,8 +64,13 @@ struct WorkloadConfig {
   // watch to the end.
   double abandon_fraction = 0.25;
   double mean_abandon_chunks = 20.0;
-  // Relative draw weights for {kBba, kRateBased, kFuguVi}.
-  std::vector<double> policy_mix = {0.4, 0.3, 0.3};
+  // Weighted policy-spec mix viewers draw from. The Whittle index policy is
+  // the cheap default workhorse; Fugu runs the discretized-VI planner, the
+  // fleet-scale MPC mode.
+  std::vector<PolicyMixEntry> policy_mix = {{"bba", 0.3},
+                                            {"rate_based", 0.2},
+                                            {"whittle", 0.3},
+                                            {"fugu:planner=vi", 0.2}};
   // Videos are drawn uniformly from a pool of this size; the fleet maps the
   // index into whatever video set the caller built.
   size_t num_videos = 1;
@@ -81,7 +87,7 @@ struct WorkloadConfig {
 struct SessionArrival {
   double start_s = 0.0;
   size_t video_index = 0;  // into the caller's video pool
-  WorkloadPolicy policy = WorkloadPolicy::kBba;
+  size_t policy_index = 0;  // into WorkloadConfig::policy_mix
   // Chunks watched before leaving; SIZE_MAX = watches to the end
   // (sim::SessionSpec / SessionEngine semantics).
   size_t chunk_limit = static_cast<size_t>(-1);
@@ -90,7 +96,8 @@ struct SessionArrival {
 class WorkloadGenerator {
  public:
   // Throws on nonsensical configs (non-positive rate or window, empty or
-  // non-positive policy mix, trough outside [0, 1], empty video pool).
+  // non-positive policy mix, a policy spec the registry rejects, trough
+  // outside [0, 1], empty video pool).
   WorkloadGenerator(const WorkloadConfig& config, uint64_t seed);
 
   // Writes the next arrival and returns true, or returns false when the
@@ -100,6 +107,12 @@ class WorkloadGenerator {
   size_t generated() const { return count_; }
   const WorkloadConfig& config() const { return config_; }
 
+  // Canonical registry spec per policy-mix entry (validated and
+  // canonicalized at construction): canonical_policy_specs()[i] is what
+  // SessionArrival::policy_index == i denotes. Distinct entries may
+  // canonicalize to the same string; pooling layers dedup on it.
+  const std::vector<std::string>& canonical_policy_specs() const { return canonical_specs_; }
+
   // The cell's bottleneck trace, drawn from an independent stream derived
   // from the same seed — calling it any number of times, before or after
   // any number of next() calls, always yields the same trace.
@@ -108,6 +121,8 @@ class WorkloadGenerator {
  private:
   WorkloadConfig config_;
   util::Rng rng_;
+  std::vector<std::string> canonical_specs_;
+  std::vector<double> mix_weights_;
   uint64_t seed_ = 0;
   double t_ = 0.0;
   size_t count_ = 0;

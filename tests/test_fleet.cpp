@@ -17,9 +17,7 @@
 #include <mutex>
 #include <vector>
 
-#include "abr/bba.h"
-#include "abr/fugu.h"
-#include "abr/rate_based.h"
+#include "abr/registry.h"
 #include "core/runner.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
@@ -52,7 +50,7 @@ TEST(Workload, PoissonStreamIsOrderedSeededAndRateShaped) {
     // Same seed -> identical stream, field for field.
     ASSERT_EQ(a.start_s, b.start_s);
     ASSERT_EQ(a.video_index, b.video_index);
-    ASSERT_EQ(a.policy, b.policy);
+    ASSERT_EQ(a.policy_index, b.policy_index);
     ASSERT_EQ(a.chunk_limit, b.chunk_limit);
     if (gen_c.next(&c) && c.start_s != a.start_s) any_seed_difference = true;
     ASSERT_GE(a.start_s, prev);
@@ -96,16 +94,20 @@ TEST(Workload, AbandonmentLimitsAndPolicyMix) {
   config.arrival_window_s = 400.0;
   config.abandon_fraction = 1.0;
   config.mean_abandon_chunks = 10.0;
-  config.policy_mix = {0.0, 1.0, 0.0};  // all rate-based
+  // Zero-weight entries are never drawn: every arrival is the middle entry.
+  config.policy_mix = {{"bba", 0.0}, {"rate_based", 1.0}, {"fugu:planner=vi", 0.0}};
 
   WorkloadGenerator gen(config, 9);
+  ASSERT_EQ(gen.canonical_policy_specs().size(), 3u);
+  EXPECT_EQ(gen.canonical_policy_specs()[1],
+            abr::PolicyRegistry::instance().canonical_string("rate_based"));
   SessionArrival a;
   double limit_sum = 0.0;
   size_t count = 0;
   while (gen.next(&a)) {
     ASSERT_NE(a.chunk_limit, kNoLimit);
     ASSERT_GE(a.chunk_limit, 1u);
-    ASSERT_EQ(a.policy, WorkloadPolicy::kRateBased);
+    ASSERT_EQ(a.policy_index, 1u);
     limit_sum += static_cast<double>(a.chunk_limit);
     ++count;
   }
@@ -143,7 +145,16 @@ TEST(Workload, RejectsNonsenseConfigs) {
   bad.arrival_rate_per_s = 0.0;
   EXPECT_THROW(WorkloadGenerator(bad, 1), std::runtime_error);
   bad = WorkloadConfig();
-  bad.policy_mix = {0.0, 0.0, 0.0};
+  bad.policy_mix = {{"bba", 0.0}, {"rate_based", 0.0}};
+  EXPECT_THROW(WorkloadGenerator(bad, 1), std::runtime_error);
+  bad = WorkloadConfig();
+  bad.policy_mix.clear();
+  EXPECT_THROW(WorkloadGenerator(bad, 1), std::runtime_error);
+  bad = WorkloadConfig();
+  bad.policy_mix = {{"no-such-policy", 1.0}};
+  EXPECT_THROW(WorkloadGenerator(bad, 1), std::runtime_error);
+  bad = WorkloadConfig();
+  bad.policy_mix = {{"bba:bogus_key=1", 1.0}};
   EXPECT_THROW(WorkloadGenerator(bad, 1), std::runtime_error);
   bad = WorkloadConfig();
   bad.diurnal_trough = 1.5;
@@ -188,8 +199,12 @@ TEST_F(FleetTest, AggregatesAreConsistent) {
 
   EXPECT_EQ(agg.cells, config.num_cells);
   EXPECT_GT(agg.sessions, 20u);
-  EXPECT_EQ(agg.sessions_by_policy[0] + agg.sessions_by_policy[1] + agg.sessions_by_policy[2],
-            agg.sessions);
+  // One count per unique canonical spec in the default mix, summing to the
+  // session total.
+  EXPECT_EQ(agg.sessions_by_policy.size(), config.workload.policy_mix.size());
+  size_t by_policy_sum = 0;
+  for (size_t n : agg.sessions_by_policy) by_policy_sum += n;
+  EXPECT_EQ(by_policy_sum, agg.sessions);
   EXPECT_GT(agg.abandoned, 0u);
   EXPECT_GE(agg.peak_concurrent, 1u);
   EXPECT_GT(agg.chunks, agg.sessions);  // nearly every session streams chunks
@@ -294,21 +309,14 @@ TEST_F(FleetTest, SingleCellMatchesSimulatorOverIdenticalArrivals) {
   while (gen.next(&a)) arrivals.push_back(a);
   ASSERT_EQ(arrivals.size(), agg.sessions);
 
+  // Reference policies come from the same registry specs the fleet pools —
+  // fresh instances per session, so this also exercises the pooled-vs-fresh
+  // equivalence of begin_session() resets.
+  const std::vector<std::string>& mix_specs = gen.canonical_policy_specs();
   std::vector<std::unique_ptr<AbrPolicy>> policies;
   std::vector<SessionSpec> specs;
   for (const SessionArrival& arrival : arrivals) {
-    switch (arrival.policy) {
-      case WorkloadPolicy::kBba: policies.push_back(std::make_unique<abr::BbaAbr>()); break;
-      case WorkloadPolicy::kRateBased:
-        policies.push_back(std::make_unique<abr::RateBasedAbr>());
-        break;
-      case WorkloadPolicy::kFuguVi: {
-        abr::FuguConfig fc;
-        fc.planner = abr::PlannerKind::kVi;
-        policies.push_back(std::make_unique<abr::FuguAbr>(fc));
-        break;
-      }
-    }
+    policies.push_back(abr::make_policy(mix_specs[arrival.policy_index]));
     SessionSpec spec;
     spec.video = video_ptrs_[arrival.video_index];
     spec.policy = policies.back().get();

@@ -100,7 +100,7 @@ TEST(FleetAllocation, FleetSteadyStateAddsNoPerSessionAllocations) {
   config.seed = 31;
   config.workload.arrival_rate_per_s = 1.0;
   config.workload.arrival_window_s = 80.0;
-  config.workload.policy_mix = {1.0};  // BBA only: no planner warm-up noise
+  config.workload.policy_mix = {{"bba", 1.0}};  // BBA only: no planner warm-up noise
   config.workload.abandon_fraction = 0.5;
   config.workload.mean_abandon_chunks = 10.0;
 

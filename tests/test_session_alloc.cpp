@@ -17,6 +17,7 @@
 #include "abr/bba.h"
 #include "abr/fugu.h"
 #include "abr/rate_based.h"
+#include "abr/whittle.h"
 #include "media/dataset.h"
 #include "net/trace_gen.h"
 #include "sim/player.h"
@@ -103,6 +104,21 @@ TEST_F(SessionAllocation, RateBasedStreamsWithoutAllocatingOnBothEngines) {
   for (auto engine : {TimingEngine::kTimeline, TimingEngine::kLegacy}) {
     abr::RateBasedAbr rate;
     AllocationProbePolicy probe(rate);
+    PlayerConfig config;
+    config.engine = engine;
+    SessionResult s = Player(config).stream(video_, trace_, probe);
+    ASSERT_EQ(s.chunks().size(), video_.num_chunks());
+    EXPECT_EQ(probe.steady_state_allocations(), 0u)
+        << (engine == TimingEngine::kTimeline ? "timeline" : "legacy");
+  }
+}
+
+TEST_F(SessionAllocation, WhittleStreamsWithoutAllocatingOnBothEngines) {
+  // The Whittle index is O(levels) arithmetic per decide over a fixed-ring
+  // predictor: allocation-free from the first decision on.
+  for (auto engine : {TimingEngine::kTimeline, TimingEngine::kLegacy}) {
+    abr::WhittleIndexAbr whittle;
+    AllocationProbePolicy probe(whittle);
     PlayerConfig config;
     config.engine = engine;
     SessionResult s = Player(config).stream(video_, trace_, probe);
