@@ -93,12 +93,14 @@ int main(int argc, char** argv) {
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_fleet.json");
   const std::string baseline_path = bench::baseline_arg(argc, argv);
   if (!baseline_path.empty()) {
-    // Schema v2: sessions_by_policy is keyed by canonical registry spec and
-    // the default mix carries the whittle row the baseline must pin.
-    bench::check_baseline_fields(baseline_path, 2,
+    // Schema v3: v2's spec-keyed sessions_by_policy plus the typed outcome
+    // split (completed/abandoned per policy) and the resilience counters.
+    bench::check_baseline_fields(baseline_path, 3,
                                  {"\"sessions_per_s\"", "\"peak_rss_mib\"", "\"qoe_p99\"",
                                   "\"total_sessions\"", "\"peak_concurrent\"",
-                                  "\"sessions_by_policy\"", "whittle"});
+                                  "\"sessions_by_policy\"", "\"completed_by_policy\"",
+                                  "\"abandoned_by_policy\"", "\"timeouts\"",
+                                  "\"failovers\"", "whittle"});
   }
   // `--policy SPEC`... replaces the default workload mix (equal weights).
   std::vector<sim::PolicyMixEntry> mix_override;
@@ -169,21 +171,33 @@ int main(int argc, char** argv) {
     // are a pure function of the workload config, so including them keeps
     // the row self-describing without breaking cross-thread/shard diffs.
     std::string by_policy;
+    // Typed outcome split per pool: completed/abandoned counts (outages are
+    // the per-pool remainder).
+    std::string split_policy;
     for (size_t k = 0; k < policy_specs.size(); ++k) {
-      if (k > 0) by_policy += ' ';
+      if (k > 0) {
+        by_policy += ' ';
+        split_policy += ' ';
+      }
       by_policy += policy_specs[k] + '=' + std::to_string(a.sessions_by_policy[k]);
+      split_policy += policy_specs[k] + '=' + std::to_string(a.completed_by_policy[k]) +
+                      '/' + std::to_string(a.abandoned_by_policy[k]);
     }
     // Determinism row: aggregates only, full precision, no timing. CI diffs
     // these across thread and shard counts.
     std::printf(
         "fleet name=%s cells=%zu sessions=%zu chunks=%zu outages=%zu abandoned=%zu "
         "peak=%zu policies=[%s] qoe_mean=%.9g qoe_p50=%.9g qoe_p90=%.9g "
-        "qoe_p99=%.9g bitrate=%.9g rebuffer=%.9g startup=%.9g\n",
+        "qoe_p99=%.9g bitrate=%.9g rebuffer=%.9g startup=%.9g "
+        "completed/abandoned=[%s] timeouts=%zu retries=%zu timeout_outages=%zu "
+        "failovers=%zu failed_cells=%zu disrupted=%zu recovered=%zu\n",
         row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
         a.peak_concurrent, by_policy.c_str(), a.session_qoe.mean(),
         a.qoe_sketch.quantile(0.5), a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
         a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
-        a.startup_delay_s.mean());
+        a.startup_delay_s.mean(), split_policy.c_str(), a.timeouts, a.retries,
+        a.timeout_outages, a.failovers, a.failed_cells, a.disrupted_sessions,
+        a.recovered_sessions);
     std::printf("perf  name=%s wall_s=%.3f sessions_per_s=%.0f chunks_per_s=%.0f "
                 "peak_rss_mib=%.1f\n\n",
                 row.name.c_str(), row.wall_s,
@@ -203,7 +217,7 @@ int main(int argc, char** argv) {
   double max_rss = 0.0;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"config\": {\"threads\": %zu, \"shards\": %zu},\n",
                runner.num_threads(), num_shards);
@@ -215,24 +229,38 @@ int main(int argc, char** argv) {
     total_sessions += a.sessions;
     peak_rate = std::max(peak_rate, rate);
     max_rss = std::max(max_rss, row.rss_mib);
-    // sessions_by_policy keys are the canonical registry specs of the mix.
-    std::string by_policy_json;
+    // *_by_policy keys are the canonical registry specs of the mix.
+    std::string by_policy_json, completed_json, abandoned_json;
     for (size_t k = 0; k < policy_specs.size(); ++k) {
-      if (k > 0) by_policy_json += ", ";
+      if (k > 0) {
+        by_policy_json += ", ";
+        completed_json += ", ";
+        abandoned_json += ", ";
+      }
       by_policy_json += "\"" + policy_specs[k] +
                         "\": " + std::to_string(a.sessions_by_policy[k]);
+      completed_json += "\"" + policy_specs[k] +
+                        "\": " + std::to_string(a.completed_by_policy[k]);
+      abandoned_json += "\"" + policy_specs[k] +
+                        "\": " + std::to_string(a.abandoned_by_policy[k]);
     }
     std::fprintf(
         f,
         "    {\"name\": \"%s\", \"cells\": %zu, \"sessions\": %zu, \"chunks\": %zu, "
         "\"outages\": %zu, \"abandoned\": %zu, \"peak_concurrent\": %zu, "
         "\"sessions_by_policy\": {%s}, "
+        "\"completed_by_policy\": {%s}, \"abandoned_by_policy\": {%s}, "
+        "\"timeouts\": %zu, \"retries\": %zu, \"timeout_outages\": %zu, "
+        "\"failovers\": %zu, \"failed_cells\": %zu, \"disrupted_sessions\": %zu, "
+        "\"recovered_sessions\": %zu, "
         "\"qoe_mean\": %.6f, \"qoe_p50\": %.6f, \"qoe_p90\": %.6f, \"qoe_p99\": %.6f, "
         "\"bitrate_mean_kbps\": %.3f, \"rebuffer_mean_s\": %.6f, "
         "\"startup_mean_s\": %.6f, \"wall_s\": %.3f, \"sessions_per_s\": %.1f, "
         "\"chunks_per_s\": %.0f, \"peak_rss_mib\": %.1f}%s\n",
         row.name.c_str(), a.cells, a.sessions, a.chunks, a.outages, a.abandoned,
-        a.peak_concurrent, by_policy_json.c_str(), a.session_qoe.mean(),
+        a.peak_concurrent, by_policy_json.c_str(), completed_json.c_str(),
+        abandoned_json.c_str(), a.timeouts, a.retries, a.timeout_outages, a.failovers,
+        a.failed_cells, a.disrupted_sessions, a.recovered_sessions, a.session_qoe.mean(),
         a.qoe_sketch.quantile(0.5), a.qoe_sketch.quantile(0.9), a.qoe_sketch.quantile(0.99),
         a.session_bitrate_kbps.mean(), a.session_rebuffer_s.mean(),
         a.startup_delay_s.mean(), row.wall_s, rate,

@@ -236,6 +236,7 @@ inline void check_flags(int argc, char** argv, std::initializer_list<const char*
 // here.
 inline bool sessions_differ(const sim::SessionResult& a, const sim::SessionResult& b) {
   if (a.chunks().size() != b.chunks().size() || a.outcome() != b.outcome() ||
+      a.outcome_cause() != b.outcome_cause() || a.failed_chunk() != b.failed_chunk() ||
       a.startup_delay_s() != b.startup_delay_s()) {
     return true;
   }
@@ -269,6 +270,8 @@ inline bool sessions_differ(const sim::SessionResult& a, const sim::SessionResul
       const sim::ChunkTrajectory& y = tb.chunks()[i];
       if (x.level != y.level || x.request_wall_s != y.request_wall_s ||
           x.rtt_s != y.rtt_s || x.transfer_s != y.transfer_s ||
+          x.retry_wasted_s != y.retry_wasted_s || x.backoff_s != y.backoff_s ||
+          x.retries != y.retries ||
           x.arrival_wall_s != y.arrival_wall_s || x.stall_s != y.stall_s ||
           x.stall_start_wall_s != y.stall_start_wall_s ||
           x.scheduled_pause_s != y.scheduled_pause_s || x.idle_s != y.idle_s ||

@@ -112,6 +112,41 @@ void SharedLink::advance_to(double t) {
     }
     t = now_s_;
   }
+  // Overshoot: when t lands beyond the next completion instant, realize the
+  // completions one at a time at their exact times — each leaver frees its
+  // share for the remainder of the advance, and its finish_s is the true
+  // instant, not t. Drivers that advance to next_completion_s() exactly
+  // never take this branch (finish_s == t), so their single-delta
+  // arithmetic — and with it every pinned result — is bit-identical.
+  while (t > now_s_ && !credits_.empty()) {
+    double finish_s = next_completion_s();
+    if (!(finish_s < t)) break;
+    if (finish_s > now_s_) {
+      double delta_bits = cumulative_bits(finish_s) - cumulative_bits(now_s_);
+      drained_bits_ += delta_bits / static_cast<double>(credits_.size());
+      now_s_ = finish_s;
+    }
+    bool popped = false;
+    while (!credits_.empty() &&
+           min_credit().finish_credit - drained_bits_ <= kFinishEpsBits) {
+      size_t id = min_credit().id;
+      pop_min_credit();
+      transfers_[id].finished = true;
+      transfers_[id].finish_s = now_s_;
+      completions_.push_back({id, now_s_});
+      popped = true;
+    }
+    if (!popped) {
+      // The drain landed an epsilon short of the prediction; the remaining
+      // bits are sub-bit, so complete the predicted finisher rather than
+      // re-deriving the same instant forever.
+      size_t id = min_credit().id;
+      pop_min_credit();
+      transfers_[id].finished = true;
+      transfers_[id].finish_s = now_s_;
+      completions_.push_back({id, now_s_});
+    }
+  }
   if (t > now_s_) {
     if (!credits_.empty()) {
       double delta_bits = cumulative_bits(t) - cumulative_bits(now_s_);
@@ -126,6 +161,33 @@ void SharedLink::advance_to(double t) {
     transfers_[id].finish_s = now_s_;
     completions_.push_back({id, now_s_});
   }
+}
+
+void SharedLink::abort(size_t id) {
+  if (id >= transfers_.size()) throw std::runtime_error("shared link: unknown transfer id");
+  Transfer& transfer = transfers_[id];
+  if (transfer.finished || transfer.aborted) {
+    throw std::runtime_error("shared link: cannot abort a transfer that is not active");
+  }
+  bool found = false;
+  for (size_t k = 0; k < credits_.size(); ++k) {
+    if (credits_[k].id == id) {
+      credits_[k] = credits_.back();
+      credits_.pop_back();
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::runtime_error("shared link: aborted transfer has no active credit");
+  // Rebuilding the heap is O(active); aborts only happen on timeouts and
+  // failovers, so this never touches the steady-state join/complete path.
+  std::make_heap(credits_.begin(), credits_.end(), kCreditAfter);
+  transfer.aborted = true;
+  transfer.aborted_granted_bits = std::min(
+      transfer.total_bits, std::max(0.0, drained_bits_ - transfer.joined_drained_bits));
+  transfer.finish_s = now_s_;
+  // The id never reaches completions_, so release it here when recycling.
+  if (recycle_ids_) free_ids_.push_back(id);
 }
 
 const std::vector<SharedLink::Completion>& SharedLink::completions_sorted() {
@@ -153,11 +215,16 @@ SharedLink::TransferView SharedLink::view(size_t id) const {
   TransferView view;
   view.total_bits = transfer.total_bits;
   view.finished = transfer.finished;
+  view.aborted = transfer.aborted;
   view.finish_s = transfer.finish_s;
-  view.granted_bits = transfer.finished
-                          ? transfer.total_bits
-                          : std::min(transfer.total_bits,
-                                     std::max(0.0, drained_bits_ - transfer.joined_drained_bits));
+  if (transfer.finished) {
+    view.granted_bits = transfer.total_bits;
+  } else if (transfer.aborted) {
+    view.granted_bits = transfer.aborted_granted_bits;
+  } else {
+    view.granted_bits = std::min(transfer.total_bits,
+                                 std::max(0.0, drained_bits_ - transfer.joined_drained_bits));
+  }
   return view;
 }
 

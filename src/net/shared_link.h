@@ -73,6 +73,18 @@ class SharedLink {
   // link.
   void advance_to(double t);
 
+  // Removes an *active* transfer from the link at its current instant — the
+  // resilience path for a timed-out request or a cell failover, where the
+  // session walks away mid-download. The bits granted so far are frozen in
+  // the transfer's view (marked aborted); the remaining active transfers
+  // split the full capacity from this instant on, exactly as if the transfer
+  // had completed. Throws for an unknown id or one that is not active
+  // (already finished or aborted) — drivers deliver completions before
+  // session events at the same instant, so a session can never race its own
+  // completion here. O(active) for the credit removal; aborts ride the rare
+  // fault path, never the steady-state one.
+  void abort(size_t id);
+
   // Completions recorded since the last drain, in join (id) order.
   struct Completion {
     size_t id = 0;
@@ -92,7 +104,8 @@ class SharedLink {
     double total_bits = 0.0;
     double granted_bits = 0.0;  // delivered so far (== total once finished)
     bool finished = false;
-    double finish_s = 0.0;  // valid when finished
+    bool aborted = false;
+    double finish_s = 0.0;  // valid when finished or aborted (abort instant)
   };
   TransferView view(size_t id) const;
 
@@ -122,6 +135,8 @@ class SharedLink {
     double joined_drained_bits = 0.0;  // drained_bits_ at join
     double finish_credit = 0.0;
     bool finished = false;
+    bool aborted = false;
+    double aborted_granted_bits = 0.0;  // grants frozen at the abort instant
     double finish_s = 0.0;
   };
 

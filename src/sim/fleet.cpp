@@ -1,8 +1,10 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -13,6 +15,8 @@
 #include "qoe/chunk_quality.h"
 #include "sim/event_queue.h"
 #include "sim/session_engine.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace sensei::sim {
 
@@ -24,6 +28,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // keeps reset() reference-valid without per-session storage.
 const std::vector<double> kNoWeights;
 
+// Salts splitting the cell seed into decoupled fault streams: the trace
+// fault plan and the cell-failure draw must not perturb the workload stream
+// (or each other), so faults change *what breaks*, never who arrives when.
+constexpr uint64_t kTraceFaultSalt = 0xFA01'7F4A'0000'0001ULL;
+constexpr uint64_t kCellFailSalt = 0xFA01'7F4A'0000'0002ULL;
+
 }  // namespace
 
 void FleetAggregates::merge(const FleetAggregates& other) {
@@ -32,12 +42,20 @@ void FleetAggregates::merge(const FleetAggregates& other) {
   chunks += other.chunks;
   outages += other.outages;
   abandoned += other.abandoned;
-  if (sessions_by_policy.size() < other.sessions_by_policy.size()) {
-    sessions_by_policy.resize(other.sessions_by_policy.size(), 0);
-  }
-  for (size_t k = 0; k < other.sessions_by_policy.size(); ++k) {
-    sessions_by_policy[k] += other.sessions_by_policy[k];
-  }
+  auto add_counts = [](std::vector<size_t>& into, const std::vector<size_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (size_t k = 0; k < from.size(); ++k) into[k] += from[k];
+  };
+  add_counts(sessions_by_policy, other.sessions_by_policy);
+  add_counts(completed_by_policy, other.completed_by_policy);
+  add_counts(abandoned_by_policy, other.abandoned_by_policy);
+  timeouts += other.timeouts;
+  retries += other.retries;
+  timeout_outages += other.timeout_outages;
+  failovers += other.failovers;
+  failed_cells += other.failed_cells;
+  disrupted_sessions += other.disrupted_sessions;
+  recovered_sessions += other.recovered_sessions;
   peak_concurrent = std::max(peak_concurrent, other.peak_concurrent);
   session_qoe.merge(other.session_qoe);
   session_bitrate_kbps.merge(other.session_bitrate_kbps);
@@ -49,6 +67,17 @@ void FleetAggregates::merge(const FleetAggregates& other) {
 FleetSimulator::FleetSimulator(FleetConfig config) : config_(std::move(config)) {
   if (config_.num_cells == 0) throw std::runtime_error("fleet: need at least one cell");
   if (config_.link_scale < 0.0) throw std::runtime_error("fleet: link scale must be >= 0");
+  const FleetFaultConfig& faults = config_.faults;
+  if (!(faults.cell_failure_fraction >= 0.0) || faults.cell_failure_fraction > 1.0)
+    throw std::runtime_error("fleet: cell failure fraction must be in [0, 1]");
+  if (faults.cell_failure_fraction > 0.0) {
+    if (!(faults.fallback_scale > 0.0) || !std::isfinite(faults.fallback_scale))
+      throw std::runtime_error("fleet: fallback scale must be finite and > 0");
+    if (!(faults.reconnect_delay_s >= 0.0) || !std::isfinite(faults.reconnect_delay_s))
+      throw std::runtime_error("fleet: reconnect delay must be finite and >= 0");
+    if (faults.cell_failure_window_s < 0.0 || !std::isfinite(faults.cell_failure_window_s))
+      throw std::runtime_error("fleet: cell failure window must be finite and >= 0");
+  }
   // Fail config mistakes at construction, not on worker threads mid-run:
   // the generator's constructor runs the full validation suite (including
   // registry validation of every policy spec). num_videos is excluded —
@@ -121,11 +150,50 @@ FleetAggregates FleetSimulator::run_cell(
   }
   const std::string cell_name = "fleet-cell-" + std::to_string(cell);
   net::ThroughputTrace trace = gen.make_trace(cell_name).scaled(link_scale, cell_name);
+
+  // Fault realization. Every draw comes from its own salted stream off the
+  // cell seed, so enabling faults never perturbs the workload (arrivals,
+  // videos, policies are unchanged) and realizations are pure functions of
+  // (config, cell) — identical across thread and shard counts. The fallback
+  // bottleneck is derived from the *clean* cell trace: it is a different
+  // physical link, so the primary's capacity faults do not apply to it.
+  const FleetFaultConfig& faults = config_.faults;
+  net::FaultPlan fault_plan;
+  const net::FaultPlan* plan_ptr = nullptr;
+  double fail_at_s = kInf;
+  std::optional<net::ThroughputTrace> fallback_trace;
+  std::optional<net::SharedLink> fallback_link;
+  if (faults.cell_failure_fraction > 0.0) {
+    util::Rng fail_rng(util::mix_seed(cell_seed, kCellFailSalt));
+    if (fail_rng.chance(faults.cell_failure_fraction)) {
+      const double window = faults.cell_failure_window_s > 0.0
+                                ? faults.cell_failure_window_s
+                                : workload.arrival_window_s;
+      fail_at_s = fail_rng.uniform(0.0, window);
+      fallback_trace.emplace(trace.scaled(faults.fallback_scale, cell_name + "-fallback"));
+      fallback_link.emplace(*fallback_trace, /*recycle_ids=*/true);
+    }
+  }
+  if (!faults.trace_faults.empty()) {
+    fault_plan = net::FaultPlan::random(faults.trace_faults,
+                                        util::mix_seed(cell_seed, kTraceFaultSalt));
+    if (!fault_plan.empty()) {
+      trace = fault_plan.apply_to_trace(trace);
+      plan_ptr = &fault_plan;
+    }
+  }
+
   net::SharedLink link(trace, /*recycle_ids=*/true);
+  // All admissions and the event loop go through `live`, which repoints to
+  // the fallback at the failover instant.
+  net::SharedLink* live = &link;
 
   FleetAggregates agg;
   agg.cells = 1;
   agg.sessions_by_policy.assign(pool_specs_.size(), 0);
+  agg.completed_by_policy.assign(pool_specs_.size(), 0);
+  agg.abandoned_by_policy.assign(pool_specs_.size(), 0);
+  if (fail_at_s < kInf) agg.failed_cells = 1;  // counts the draw, not the hit
   const qoe::ChunkQualityParams qoe_params;
 
   // Session slots: engine + bound policy, recycled across sessions. All
@@ -144,6 +212,7 @@ FleetAggregates FleetSimulator::run_cell(
   std::vector<size_t> transfer_owner;  // transfer id -> slot (ids recycled)
 
   size_t active = 0;
+  uint64_t session_ordinal = 0;  // admission order, for per-session jitter tags
 
   auto admit = [&](const SessionArrival& a) -> size_t {
     size_t idx;
@@ -172,12 +241,16 @@ FleetAggregates FleetSimulator::run_cell(
     if (config_.player.share_plan_tables) slot.policy->attach_plan_batch(&batch);
     const media::EncodedVideo& video = *videos[a.video_index];
     if (slot.engine == nullptr) {
-      slot.engine = std::make_unique<SessionEngine>(config_.player, video, link,
+      slot.engine = std::make_unique<SessionEngine>(config_.player, video, *live,
                                                     *slot.policy, kNoWeights, a.start_s);
       slot.engine->set_chunk_limit(a.chunk_limit);
     } else {
-      slot.engine->reset(video, link, *slot.policy, kNoWeights, a.start_s, a.chunk_limit);
+      slot.engine->reset(video, *live, *slot.policy, kNoWeights, a.start_s, a.chunk_limit);
     }
+    // Stable jitter identity (admission order, decoupled from slot reuse)
+    // and the live fault plan for RTT spikes (nullptr detaches).
+    slot.engine->set_session_tag(util::mix_seed(cell_seed, session_ordinal++));
+    slot.engine->set_fault_plan(plan_ptr);
     ++active;
     agg.peak_concurrent = std::max(agg.peak_concurrent, active);
     return idx;
@@ -190,12 +263,32 @@ FleetAggregates FleetSimulator::run_cell(
 
     ++agg.sessions;
     agg.chunks += recs.size();
-    ++agg.sessions_by_policy[mix_to_pool_[slot.arrival.policy_index]];
-    const media::EncodedVideo& video = *videos[slot.arrival.video_index];
-    if (engine.outcome() == SessionOutcome::kOutage) {
-      ++agg.outages;
-    } else if (recs.size() < video.num_chunks()) {
-      ++agg.abandoned;
+    const size_t pool_idx = mix_to_pool_[slot.arrival.policy_index];
+    ++agg.sessions_by_policy[pool_idx];
+    // Typed outcome split: outage vs viewer abandonment vs full completion,
+    // from the engine's cause instead of re-deriving it from record counts.
+    switch (engine.outcome_cause()) {
+      case OutcomeCause::kAbandoned:
+        ++agg.abandoned;
+        ++agg.abandoned_by_policy[pool_idx];
+        break;
+      case OutcomeCause::kNone:
+        ++agg.completed_by_policy[pool_idx];
+        break;
+      case OutcomeCause::kTimeoutBudget:
+        ++agg.timeout_outages;
+        ++agg.outages;
+        break;
+      case OutcomeCause::kDeadLink:
+        ++agg.outages;
+        break;
+    }
+    agg.timeouts += engine.timeouts();
+    agg.retries += engine.retries();
+    if (engine.failovers() > 0) ++agg.failovers;
+    if (engine.timeouts() > 0 || engine.failovers() > 0) {
+      ++agg.disrupted_sessions;
+      if (engine.outcome() != SessionOutcome::kOutage) ++agg.recovered_sessions;
     }
     if (!recs.empty()) {
       double qoe_sum = 0.0, bitrate_sum = 0.0;
@@ -234,8 +327,9 @@ FleetAggregates FleetSimulator::run_cell(
   double prev_t = -kInf;
   bool prev_was_noop = false;
   while (active > 0 || have_pending) {
-    double t = std::min(events.min_time(), link.next_completion_s());
+    double t = std::min(events.min_time(), live->next_completion_s());
     if (have_pending) t = std::min(t, pending.start_s);
+    t = std::min(t, fail_at_s);
 
     if (t == kInf) {
       // Dead link, no arrivals left: every active session is stuck on a
@@ -251,8 +345,8 @@ FleetAggregates FleetSimulator::run_cell(
     }
 
     size_t processed = 0;
-    link.advance_to(t);
-    for (const net::SharedLink::Completion& completion : link.completions_sorted()) {
+    live->advance_to(t);
+    for (const net::SharedLink::Completion& completion : live->completions_sorted()) {
       ++processed;
       size_t idx = transfer_owner[completion.id];
       slots[idx].engine->complete_transfer(completion.finish_s);
@@ -263,7 +357,7 @@ FleetAggregates FleetSimulator::run_cell(
         events.update(idx, slots[idx].engine->next_event_time());
       }
     }
-    link.clear_completions();
+    live->clear_completions();
 
     while (have_pending && pending.start_s <= t) {
       size_t idx = admit(pending);
@@ -284,11 +378,36 @@ FleetAggregates FleetSimulator::run_cell(
       }
     }
 
+    // Cell failover, processed at the end of its instant: completions and
+    // transitions that land exactly at the failure time still resolve on
+    // the primary; everything live afterwards re-homes to the fallback
+    // (in-flight attempts are aborted and charged by the engine, idle
+    // sessions just repoint) and re-enters the heap at its new event time.
+    if (fail_at_s <= t) {
+      ++processed;
+      for (size_t idx = 0; idx < slots.size(); ++idx) {
+        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
+            !slots[idx].engine->done()) {
+          slots[idx].engine->rehome(*fallback_link, faults.reconnect_delay_s, t);
+          events.update(idx, slots[idx].engine->next_event_time());
+        }
+      }
+      live = &*fallback_link;
+      fail_at_s = kInf;
+    }
+
     // Livelock sentinel, as in sim::Simulator: one no-op instant is legal
     // (an epsilon-short completion estimate), two in a row can never resolve.
     if (processed == 0 && prev_was_noop && t == prev_t) {
-      throw std::runtime_error("fleet: cell " + std::to_string(cell) +
-                               " event loop stalled at t=" + std::to_string(t));
+      size_t stuck = slots.size();
+      for (size_t idx = 0; idx < slots.size(); ++idx) {
+        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
+            !slots[idx].engine->done()) {
+          stuck = idx;
+          break;
+        }
+      }
+      throw LivelockError("fleet cell " + std::to_string(cell), stuck, t);
     }
     prev_was_noop = processed == 0;
     prev_t = t;

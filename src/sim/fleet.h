@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "media/encoder.h"
+#include "net/fault.h"
 #include "sim/player.h"
 #include "sim/workload.h"
 #include "util/stats.h"
@@ -62,8 +63,24 @@ struct FleetAggregates {
   size_t abandoned = 0;  // completed early via the viewer's chunk limit
   // Sessions per unique canonical policy spec, parallel to
   // FleetSimulator::policy_specs(). Empty until a run fills it; merge()
-  // grows it to the larger operand.
+  // grows it to the larger operand. completed/abandoned split the same
+  // per-policy counts by how the session ended (outages are the remainder:
+  // sessions - completed - abandoned).
   std::vector<size_t> sessions_by_policy;
+  std::vector<size_t> completed_by_policy;
+  std::vector<size_t> abandoned_by_policy;
+
+  // --- resilience counters (all 0 when faults and timeouts are off) -------
+  size_t timeouts = 0;          // request attempts that missed their deadline
+  size_t retries = 0;           // retry attempts issued after a timeout
+  size_t timeout_outages = 0;   // outages caused by retry-budget exhaustion
+  size_t failovers = 0;         // sessions re-homed by a cell failover
+  size_t failed_cells = 0;      // cells whose bottleneck hard-failed
+  // A session is *disrupted* when it hit >= 1 timeout or failover, and
+  // *recovered* when it was disrupted yet did not end in an outage — the
+  // recovery rate bench_resilience sweeps is recovered / disrupted.
+  size_t disrupted_sessions = 0;
+  size_t recovered_sessions = 0;
   // Largest number of simultaneously active sessions in any one cell — the
   // quantity all per-cell memory is bounded by.
   size_t peak_concurrent = 0;
@@ -81,10 +98,33 @@ struct FleetAggregates {
   void merge(const FleetAggregates& other);
 };
 
+// Fleet-level fault model. Everything is disabled by default — a default-
+// constructed FleetFaultConfig reproduces pre-fault aggregates bit for bit
+// (no extra RNG draws, no trace rebuilds). Per-cell realizations derive
+// from task_seed(seed, cell) with fixed salts, so they are identical across
+// --threads / --shards.
+struct FleetFaultConfig {
+  // Seeded trace faults per cell (outages / capacity collapses / RTT
+  // spikes). All-zero mean counts (the default) inject nothing.
+  net::RandomFaultSpec trace_faults;
+  // Fraction of cells whose primary bottleneck hard-fails at a seeded time
+  // drawn uniformly from [0, cell_failure_window_s) — 0 reuses the
+  // workload's arrival window. Live sessions re-home to a fallback link
+  // (the clean cell trace scaled by fallback_scale) after reconnect_delay_s.
+  double cell_failure_fraction = 0.0;
+  double cell_failure_window_s = 0.0;
+  double reconnect_delay_s = 2.0;
+  double fallback_scale = 0.5;
+
+  bool any() const { return !trace_faults.empty() || cell_failure_fraction > 0.0; }
+};
+
 struct FleetConfig {
   WorkloadConfig workload;  // per-cell arrival/abandonment/policy/trace model
   size_t num_cells = 1;
   uint64_t seed = 1;
+  // Fault injection + failover (disabled by default; see FleetFaultConfig).
+  FleetFaultConfig faults;
   // Session mechanics. record_timeline defaults *off* here — the fleet
   // never reads timelines and keeping them would allocate per session.
   PlayerConfig player = [] {

@@ -22,6 +22,8 @@
 // outage detection, no trajectory).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -80,6 +82,37 @@ class AbrPolicy {
   virtual void attach_plan_batch(abr::PlanBatch* batch) { (void)batch; }
 };
 
+// Per-session recovery behavior: request timeouts, bounded retries with
+// exponential backoff + deterministic jitter, and a lower re-request rung on
+// retry. The defaults disable every mechanism — an infinite timeout means no
+// attempt ever times out, so a default-constructed config reproduces the
+// pre-resilience engine bit for bit (no extra float ops, no RNG draws).
+struct ResilienceConfig {
+  // Wall-clock budget per request attempt, measured from the instant the
+  // request is issued (covers RTT + transfer). +infinity disables timeouts.
+  double request_timeout_s = std::numeric_limits<double>::infinity();
+  // Retries allowed after the first attempt times out. With the budget
+  // exhausted the chunk — and the session — ends in kOutage
+  // (OutcomeCause::kTimeoutBudget).
+  size_t max_retries = 0;
+  // Backoff before retry k (1-based): min(base * factor^(k-1), max), then
+  // * (1 + jitter_frac * u) with u drawn deterministically in [-1, 1) from
+  // (jitter_seed, session tag, chunk, attempt) — identical realizations
+  // across threads/shards, decorrelated across sessions.
+  double backoff_base_s = 0.5;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 8.0;
+  double backoff_jitter_frac = 0.0;
+  uint64_t jitter_seed = 0;
+  // Retry one rung lower per failed attempt (floored at rung 0) — a timeout
+  // is congestion evidence, so the retry asks for less.
+  bool retry_lower_rung = true;
+
+  bool enabled() const {
+    return request_timeout_s < std::numeric_limits<double>::infinity();
+  }
+};
+
 // Which accounting loop realizes the session timing.
 enum class TimingEngine {
   kTimeline,  // exact event-driven engine (sim/timeline.h) — the default
@@ -103,6 +136,8 @@ struct PlayerConfig {
   // timeline allocation entirely — the fleet-scale memory mode. With it off,
   // SessionResult::timeline() is null and AbrObservation::timeline is null.
   bool record_timeline = true;
+  // Timeout/retry/backoff recovery; disabled by default (see above).
+  ResilienceConfig resilience;
 };
 
 class Player {

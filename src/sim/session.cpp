@@ -2,6 +2,20 @@
 
 namespace sensei::sim {
 
+const char* to_string(OutcomeCause cause) {
+  switch (cause) {
+    case OutcomeCause::kNone:
+      return "none";
+    case OutcomeCause::kAbandoned:
+      return "abandoned";
+    case OutcomeCause::kDeadLink:
+      return "dead_link";
+    case OutcomeCause::kTimeoutBudget:
+      return "timeout_budget";
+  }
+  return "unknown";
+}
+
 SessionResult::SessionResult(std::string video_name, std::string trace_name,
                              double chunk_duration_s, std::vector<ChunkRecord> chunks,
                              double startup_delay_s)
@@ -9,7 +23,8 @@ SessionResult::SessionResult(std::string video_name, std::string trace_name,
       trace_name_(std::move(trace_name)),
       chunk_duration_s_(chunk_duration_s),
       chunks_(std::move(chunks)),
-      startup_delay_s_(startup_delay_s) {}
+      startup_delay_s_(startup_delay_s),
+      failed_chunk_(chunks_.size()) {}
 
 double SessionResult::total_rebuffer_s() const {
   double total = 0.0;

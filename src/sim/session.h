@@ -17,6 +17,16 @@ class SessionTimeline;  // sim/timeline.h
 // trace exhausted mid-transfer) and the session truncates at that chunk.
 enum class SessionOutcome { kCompleted, kOutage };
 
+// Why it ended that way — the typed cause behind the coarse outcome.
+// kCompleted sessions carry kNone (watched to the end) or kAbandoned (the
+// viewer left early by script — fleet workloads' abandon_fraction). kOutage
+// sessions carry kDeadLink (the link can never deliver the chunk and no
+// retry budget remains untried) or kTimeoutBudget (every attempt timed out
+// and the bounded-retry budget is exhausted).
+enum class OutcomeCause { kNone, kAbandoned, kDeadLink, kTimeoutBudget };
+
+const char* to_string(OutcomeCause cause);
+
 struct ChunkRecord {
   size_t index = 0;
   size_t level = 0;
@@ -58,7 +68,24 @@ class SessionResult {
   // kOutage when the session was cut short by a dead link; the surviving
   // chunk records cover everything downloaded before the outage.
   SessionOutcome outcome() const { return outcome_; }
-  void set_outcome(SessionOutcome outcome) { outcome_ = outcome; }
+  // The coarse setter keeps the legacy mapping (kOutage -> kDeadLink) for
+  // callers that predate typed causes (offline optimal, legacy engine).
+  void set_outcome(SessionOutcome outcome) {
+    outcome_ = outcome;
+    outcome_cause_ =
+        outcome == SessionOutcome::kOutage ? OutcomeCause::kDeadLink : OutcomeCause::kNone;
+  }
+  void set_outcome(SessionOutcome outcome, OutcomeCause cause, size_t failed_chunk) {
+    outcome_ = outcome;
+    outcome_cause_ = cause;
+    failed_chunk_ = failed_chunk;
+  }
+
+  // Typed cause, and the chunk index where the session stopped: the chunk
+  // that failed (outage), the first chunk never requested (abandoned), or
+  // the chunk count (watched to the end).
+  OutcomeCause outcome_cause() const { return outcome_cause_; }
+  size_t failed_chunk() const { return failed_chunk_; }
 
   // The full playhead/buffer trajectory, when the session was produced by
   // the timeline engine (nullptr from the frozen legacy engine). Shared so
@@ -75,6 +102,8 @@ class SessionResult {
   std::vector<ChunkRecord> chunks_;
   double startup_delay_s_ = 0.0;
   SessionOutcome outcome_ = SessionOutcome::kCompleted;
+  OutcomeCause outcome_cause_ = OutcomeCause::kNone;
+  size_t failed_chunk_ = 0;
   std::shared_ptr<const SessionTimeline> timeline_;
 };
 

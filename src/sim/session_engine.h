@@ -15,6 +15,25 @@
 //                     |
 //                     +--> kDone (all chunks) / kOutage (link died)
 //
+// With PlayerConfig::resilience enabled, a request attempt that misses its
+// deadline detours through the recovery loop instead of ending the session:
+//
+//   kRtt/kTransferring --(deadline)--> kTimedOut --> kBackoff --> kRetrying
+//                                          |                         |
+//                               (budget exhausted)          (re-request, one
+//                                          |                 rung lower)
+//                                       kOutage  <-----------> kRtt ...
+//
+// Each failed attempt burns exactly the timeout as wall clock (RTT +
+// partial transfer), the backoff wait is exponential with deterministic
+// jitter, and the chunk's ChunkTrajectory carries the recovery spans so the
+// conservation law (arrival == request + retry waste + backoff + rtt +
+// transfer) still holds. kOutage is reached only when the bounded retry
+// budget is exhausted (OutcomeCause::kTimeoutBudget) or the link is dead
+// with no resilience armed (OutcomeCause::kDeadLink). With the default
+// (disabled) ResilienceConfig every expression the engine evaluates is the
+// pre-resilience one, bit for bit.
+//
 // Driving contract: next_event_time() is the absolute simulation time of
 // the next self-driven transition; advance_to(t) performs every transition
 // scheduled at or before t. On a dedicated link the engine integrates its
@@ -45,6 +64,7 @@
 #include "sim/timeline.h"
 
 namespace sensei::net {
+class FaultPlan;
 class SharedLink;
 }
 
@@ -57,8 +77,11 @@ class SessionEngine {
     kRtt,           // request in flight: dead time, no trace capacity
     kTransferring,  // bytes on the wire
     kArrived,       // chunk landed; serving any buffer-cap idle
+    kTimedOut,      // an attempt missed its deadline; retry decision pending
+    kBackoff,       // waiting out the retry backoff / failover reconnect
+    kRetrying,      // backoff served; the chunk is about to be re-requested
     kDone,          // every chunk downloaded
-    kOutage,        // the link died mid-session; result truncated
+    kOutage,        // link died / retry budget exhausted; result truncated
   };
 
   // Dedicated link: the engine integrates `trace` itself. `video`, `trace`,
@@ -94,6 +117,18 @@ class SessionEngine {
   // the run returns, so the policy never outlives the tables it reads.
   void attach_plan_batch(abr::PlanBatch* batch) { policy_->attach_plan_batch(batch); }
 
+  // Identity salt for the deterministic backoff jitter (mixed with the
+  // chunk and attempt indices). Drivers set it to the session's stable
+  // ordinal so realizations are decorrelated across sessions yet identical
+  // across threads/shards. Call before the first transition.
+  void set_session_tag(uint64_t tag);
+
+  // Optional fault plan (nullable): the engine queries rtt_extra_s() at
+  // each request instant (capacity faults ride the materialized trace, not
+  // the engine). `plan` must outlive the session. Call before the first
+  // transition; cleared by reset().
+  void set_fault_plan(const net::FaultPlan* plan);
+
   // Absolute time of the next self-driven transition; +infinity when done,
   // or while a shared-link transfer is in flight (the link owns that event).
   double next_event_time() const { return next_event_abs_s_; }
@@ -117,6 +152,15 @@ class SessionEngine {
   // session as an outage, exactly as a dedicated dead link does.
   void fail_transfer();
 
+  // Cell failover (fleet): rebind the session to `link`. A request in
+  // flight (kRtt / kTransferring) died with the old cell — its span so far
+  // is charged as retry waste, the reconnection delay as backoff, and the
+  // chunk is re-requested at its current rung on the new link; a failover
+  // is not congestion evidence, so it neither drops the rung nor spends the
+  // retry budget. Sessions between requests just reconnect. `now_abs_s` is
+  // the failover instant (the driver has advanced the engine to it).
+  void rehome(net::SharedLink& link, double reconnect_delay_s, double now_abs_s);
+
   // Drives the session to completion and returns the result. Requires a
   // dedicated link (a shared-link engine waits on its driver).
   SessionResult run();
@@ -136,9 +180,24 @@ class SessionEngine {
   SessionOutcome outcome() const {
     return state_ == State::kOutage ? SessionOutcome::kOutage : SessionOutcome::kCompleted;
   }
+  // Typed cause behind outcome(): kDeadLink / kTimeoutBudget for outages,
+  // kAbandoned for chunk-limited sessions, kNone for full completions.
+  OutcomeCause outcome_cause() const {
+    if (state_ == State::kOutage) return outage_cause_;
+    return end_chunk_ < n_ ? OutcomeCause::kAbandoned : OutcomeCause::kNone;
+  }
+  // Where the session stopped: the failed chunk (outage) or the first chunk
+  // never requested (abandonment / completion).
+  size_t failed_chunk() const { return state_ == State::kOutage ? next_chunk_ : end_chunk_; }
   double startup_delay_s() const { return startup_delay_s_; }
   double total_stall_s() const { return total_stall_s_; }
   double wall_clock_s() const { return wall_clock_s_; }
+
+  // --- resilience counters (session-scoped, reset by reset()) -------------
+  size_t timeouts() const { return timeouts_; }              // attempts that missed a deadline
+  size_t retries() const { return retries_; }                // retry attempts issued
+  size_t recovered_chunks() const { return recovered_chunks_; }  // chunks delivered after >=1 reattempt
+  size_t failovers() const { return failovers_; }            // rehome() calls on this session
 
   // Rebinds a finished (or fresh) engine to a new session, reusing every
   // buffer whose capacity the previous sessions grew — the fleet free-pool
@@ -154,10 +213,21 @@ class SessionEngine {
  private:
   void init(const PlayerConfig& config, const std::vector<double>& weights, double start_s);
   void issue_request();    // kRequesting: decide + integrate (dedicated)
+  void issue_retry();      // kRetrying: re-request the in-flight chunk
   void begin_transfer();   // kRtt expiry: first byte may move
   void finish_chunk();     // arrival accounting (the monolithic loop's tail)
+  void enter_timed_out();  // the deadline fired: book the wasted attempt
+  void resolve_timeout();  // kTimedOut: retry (backoff) or give up (outage)
   void mark_outage();      // truncate at the in-flight chunk
   void finalize();         // end-of-session timeline bookkeeping
+  // Attempt plumbing: RTT at an absolute request instant (fault-plan aware)
+  // and the deadline for the attempt starting then.
+  double request_rtt_s(double attempt_start_abs_s) const;
+  void arm_deadline();
+  // Backoff before retry `attempt` (1-based): exponential, capped,
+  // deterministically jittered from (jitter_seed, session tag, chunk,
+  // attempt).
+  double backoff_wait_s(size_t attempt) const;
 
   PlayerConfig config_;
   const media::EncodedVideo* video_ = nullptr;
@@ -194,12 +264,33 @@ class SessionEngine {
   // In-flight chunk state, populated at kRequesting and consumed at arrival.
   const media::EncodedChunk* rep_ = nullptr;
   double scheduled_ = 0.0;
-  double dl_s_ = 0.0;                 // rtt + transfer wall time
-  double transfer_elapsed_s_ = 0.0;   // wire time alone
+  double dl_s_ = 0.0;                 // retry waste + backoff + rtt + transfer wall time
+  double transfer_elapsed_s_ = 0.0;   // wire time alone (delivering attempt)
   double transfer_start_abs_s_ = 0.0;
   size_t transfer_id_ = 0;
   ChunkRecord rec_;
   ChunkTrajectory traj_;
+
+  // Resilience state. With the default (disabled) ResilienceConfig:
+  // cur_rtt_s_ == config_.rtt_s, deadline_abs_s_ == +inf, and every
+  // accumulator stays 0 — the pre-resilience expressions fall out bitwise.
+  const net::FaultPlan* faults_ = nullptr;  // nullable; RTT spikes only
+  uint64_t session_tag_ = 0;                // jitter identity salt
+  double cur_rtt_s_ = 0.0;                  // RTT of the attempt in flight
+  double last_rtt_s_ = 0.0;                 // RTT of the last delivered chunk
+  double attempt_start_abs_s_ = 0.0;        // when the in-flight attempt was issued
+  double deadline_abs_s_ = 0.0;             // attempt start + timeout (+inf disabled)
+  bool pending_timeout_ = false;            // dedicated: this attempt cannot beat its deadline
+  size_t attempts_failed_ = 0;              // timed-out attempts for the in-flight chunk
+  size_t chunk_reattempts_ = 0;             // re-requests (timeout retries + failovers)
+  double chunk_retry_wasted_s_ = 0.0;       // wall clock burnt by failed attempts
+  double chunk_backoff_s_ = 0.0;            // backoff + reconnect waits
+  size_t retry_level_ = 0;                  // rung the next reattempt will request
+  OutcomeCause outage_cause_ = OutcomeCause::kDeadLink;
+  size_t timeouts_ = 0;
+  size_t retries_ = 0;
+  size_t recovered_chunks_ = 0;
+  size_t failovers_ = 0;
 
   bool result_taken_ = false;
 };

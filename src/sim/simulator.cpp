@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "abr/planner.h"
+#include "net/fault.h"
 #include "net/shared_link.h"
 #include "sim/event_queue.h"
 #include "sim/session_engine.h"
@@ -17,6 +18,13 @@ namespace sensei::sim {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
+
+LivelockError::LivelockError(const std::string& loop, size_t stuck_session, double sim_time_s)
+    : std::runtime_error(loop + ": event loop stalled (no progress at t=" +
+                         std::to_string(sim_time_s) + ", stuck session " +
+                         std::to_string(stuck_session) + ")"),
+      stuck_session_(stuck_session),
+      sim_time_s_(sim_time_s) {}
 
 const char* to_string(LinkMode mode) {
   switch (mode) {
@@ -33,10 +41,20 @@ Simulator::Simulator(PlayerConfig config) : config_(config) {
 
 std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& specs,
                                                const net::ThroughputTrace& trace,
-                                               LinkMode mode) const {
+                                               LinkMode mode,
+                                               const net::FaultPlan* faults) const {
+  // Capacity faults are materialized onto the trace before anything runs
+  // (net/fault.h); only the RTT spikes need the live plan, via the engines.
+  const net::ThroughputTrace* net_trace = &trace;
+  net::ThroughputTrace faulted;
+  if (faults != nullptr && !faults->empty()) {
+    faulted = faults->apply_to_trace(trace);
+    net_trace = &faulted;
+  }
+
   const std::vector<double> no_weights;
   std::optional<net::SharedLink> link;
-  if (mode == LinkMode::kShared) link.emplace(trace);
+  if (mode == LinkMode::kShared) link.emplace(*net_trace);
 
   std::vector<std::unique_ptr<SessionEngine>> engines;
   engines.reserve(specs.size());
@@ -53,10 +71,14 @@ std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& s
       engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, *link,
                                                         *spec.policy, w, spec.start_s));
     } else {
-      engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, trace,
+      engines.push_back(std::make_unique<SessionEngine>(config_, *spec.video, *net_trace,
                                                         *spec.policy, w, spec.start_s));
     }
     engines.back()->set_chunk_limit(spec.chunk_limit);
+    // Stable per-session jitter identity (spec order); the live plan reaches
+    // the engines for RTT spikes (nullptr detaches — the common case).
+    engines.back()->set_session_tag(engines.size() - 1);
+    engines.back()->set_fault_plan(faults);
   }
 
   // One pool of static planning tables shared by every session in this run:
@@ -131,11 +153,12 @@ std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& s
         ++processed;
         size_t idx = transfer_owner[completion.id];
         engines[idx]->complete_transfer(completion.finish_s);
-        if (engines[idx]->done()) {
-          --remaining;
-        } else {
-          push_engine(idx);
-        }
+        // Re-push unconditionally: a transferring engine parks at its attempt
+        // deadline (finite with resilience), and a completion that finishes
+        // the session must clear that stale entry or the deadline pops later
+        // against a done engine and double-counts the retirement.
+        push_engine(idx);
+        if (engines[idx]->done()) --remaining;
       }
       link->clear_completions();
     }
@@ -158,10 +181,17 @@ std::vector<MultiSessionResult> Simulator::run(const std::vector<SessionSpec>& s
     // Livelock sentinel. A no-op iteration is legal once (the link predicted
     // a completion whose drain fell an epsilon short), but time must then
     // move; two stuck iterations at the same instant can never resolve, so
-    // fail loudly instead of spinning.
+    // fail loudly — naming the stuck session and instant — instead of
+    // spinning.
     if (processed == 0 && prev_was_noop && t == prev_t) {
-      throw std::runtime_error("simulator: event loop stalled (no progress at t=" +
-                               std::to_string(t) + ")");
+      size_t stuck = engines.size();
+      for (size_t i = 0; i < engines.size(); ++i) {
+        if (!engines[i]->done()) {
+          stuck = i;
+          break;
+        }
+      }
+      throw LivelockError("simulator", stuck, t);
     }
     prev_was_noop = processed == 0;
     prev_t = t;

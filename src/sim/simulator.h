@@ -26,6 +26,8 @@
 // by this scheduler or driven to completion in one call.
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "media/encoder.h"
@@ -33,7 +35,27 @@
 #include "sim/player.h"
 #include "sim/session.h"
 
+namespace sensei::net {
+class FaultPlan;
+}
+
 namespace sensei::sim {
+
+// Typed livelock diagnosis: an event loop made no progress across two
+// iterations pinned at the same simulated instant, which can never resolve.
+// Thrown by Simulator::run and FleetSimulator cells instead of spinning;
+// carries the stuck session's index (spec order / cell-local ordinal) and
+// the simulated time so the failure names its culprit.
+class LivelockError : public std::runtime_error {
+ public:
+  LivelockError(const std::string& loop, size_t stuck_session, double sim_time_s);
+  size_t stuck_session() const { return stuck_session_; }
+  double sim_time_s() const { return sim_time_s_; }
+
+ private:
+  size_t stuck_session_;
+  double sim_time_s_;
+};
 
 // How sessions see the network.
 enum class LinkMode {
@@ -69,11 +91,15 @@ class Simulator {
   const PlayerConfig& config() const { return config_; }
 
   // Runs every session to completion (or outage) and returns results in
-  // spec order. Deterministic: same specs + trace -> same results,
-  // regardless of how sessions interleave in wall-clock terms.
+  // spec order. Deterministic: same specs + trace (+ fault plan) -> same
+  // results, regardless of how sessions interleave in wall-clock terms.
+  // `faults` (nullable) injects a net::FaultPlan: capacity faults are
+  // materialized onto the trace before any session starts, RTT spikes are
+  // queried by the engines per request. It must outlive the call.
   std::vector<MultiSessionResult> run(const std::vector<SessionSpec>& specs,
                                       const net::ThroughputTrace& trace,
-                                      LinkMode mode = LinkMode::kShared) const;
+                                      LinkMode mode = LinkMode::kShared,
+                                      const net::FaultPlan* faults = nullptr) const;
 
  private:
   PlayerConfig config_;

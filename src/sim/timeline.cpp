@@ -19,6 +19,8 @@ const char* to_string(TimelineEventKind kind) {
     case TimelineEventKind::kStall: return "stall";
     case TimelineEventKind::kScheduledPause: return "scheduled-pause";
     case TimelineEventKind::kIdle: return "idle";
+    case TimelineEventKind::kRetryWait: return "retry-wait";
+    case TimelineEventKind::kBackoff: return "backoff";
   }
   return "?";
 }
@@ -72,22 +74,39 @@ std::vector<TimelineEvent> SessionTimeline::events() const {
   std::vector<TimelineEvent> out;
   for (const auto& c : chunks_) {
     const bool first = c.chunk == 0;
+    const double recovery_s = c.retry_wasted_s + c.backoff_s;
     // Buffer levels at the phase boundaries. Before startup completes the
     // buffer holds media but playback has not begun, so nothing drains.
-    double post_rtt = first ? 0.0 : std::max(c.buffer_before_s - c.rtt_s, 0.0);
+    double post_recovery = first ? 0.0 : std::max(c.buffer_before_s - recovery_s, 0.0);
+    double post_rtt = first ? 0.0 : std::max(c.buffer_before_s - (recovery_s + c.rtt_s), 0.0);
     double post_transfer =
-        first ? 0.0 : std::max(c.buffer_before_s - (c.rtt_s + c.transfer_s), 0.0);
+        first ? 0.0
+              : std::max(c.buffer_before_s - (recovery_s + c.rtt_s + c.transfer_s), 0.0);
     if (first) {
       out.push_back({TimelineEventKind::kStartupWait, c.chunk, c.request_wall_s,
                      startup_delay_s_, 0.0, 0.0});
     }
+    // Recovery spans: consolidated totals (waste then backoff) ahead of the
+    // delivering attempt — see the TimelineEventKind comment.
+    if (c.retry_wasted_s > 0.0) {
+      out.push_back({TimelineEventKind::kRetryWait, c.chunk, c.request_wall_s,
+                     c.retry_wasted_s, c.buffer_before_s,
+                     first ? 0.0 : std::max(c.buffer_before_s - c.retry_wasted_s, 0.0)});
+    }
+    if (c.backoff_s > 0.0) {
+      out.push_back({TimelineEventKind::kBackoff, c.chunk, c.request_wall_s + c.retry_wasted_s,
+                     c.backoff_s,
+                     first ? 0.0 : std::max(c.buffer_before_s - c.retry_wasted_s, 0.0),
+                     post_recovery});
+    }
     if (c.rtt_s > 0.0) {
-      out.push_back({TimelineEventKind::kRttWait, c.chunk, c.request_wall_s, c.rtt_s,
-                     c.buffer_before_s, post_rtt});
+      out.push_back({TimelineEventKind::kRttWait, c.chunk, c.request_wall_s + recovery_s,
+                     c.rtt_s, post_recovery, post_rtt});
     }
     if (c.transfer_s > 0.0) {
-      out.push_back({TimelineEventKind::kTransfer, c.chunk, c.request_wall_s + c.rtt_s,
-                     c.transfer_s, post_rtt, post_transfer});
+      out.push_back({TimelineEventKind::kTransfer, c.chunk,
+                     c.request_wall_s + recovery_s + c.rtt_s, c.transfer_s, post_rtt,
+                     post_transfer});
     }
     if (c.stall_s > 0.0) {
       out.push_back({TimelineEventKind::kStall, c.chunk, c.stall_start_wall_s, c.stall_s,
@@ -120,15 +139,19 @@ bool SessionTimeline::check_invariants(std::string* why) const {
     const auto& c = chunks_[i];
     if (c.chunk != i) return violate(i, "non-consecutive chunk index");
     if (c.rtt_s < 0.0 || c.transfer_s < 0.0 || c.stall_s < 0.0 ||
-        c.scheduled_pause_s < 0.0 || c.idle_s < 0.0) {
+        c.scheduled_pause_s < 0.0 || c.idle_s < 0.0 || c.retry_wasted_s < 0.0 ||
+        c.backoff_s < 0.0) {
       return violate(i, "negative span");
     }
     if (c.buffer_before_s < 0.0 || c.buffer_after_s < 0.0) {
       return violate(i, "negative buffer");
     }
-    double dl = c.rtt_s + c.transfer_s;
+    if (c.retries == 0 && c.retry_wasted_s + c.backoff_s > 0.0) {
+      return violate(i, "recovery spans recorded without a retry");
+    }
+    double dl = c.retry_wasted_s + c.backoff_s + c.rtt_s + c.transfer_s;
     if (std::abs(c.arrival_wall_s - (c.request_wall_s + dl)) > eps * (1.0 + c.arrival_wall_s)) {
-      return violate(i, "arrival != request + rtt + transfer");
+      return violate(i, "arrival != request + retry waste + backoff + rtt + transfer");
     }
     if (c.stall_s > 0.0 &&
         std::abs(c.stall_start_wall_s - (c.arrival_wall_s - c.stall_s)) >

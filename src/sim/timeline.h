@@ -53,11 +53,18 @@ struct PlayerConfig; // sim/player.h
 // since the session began (the first request is issued at 0).
 struct ChunkTrajectory {
   size_t chunk = 0;
-  size_t level = 0;
-  double request_wall_s = 0.0;      // download request issued
-  double rtt_s = 0.0;               // request dead time (no trace capacity)
-  double transfer_s = 0.0;          // bytes on the wire
-  double arrival_wall_s = 0.0;      // request + rtt + transfer
+  size_t level = 0;                 // rung actually delivered (after any retry drop)
+  double request_wall_s = 0.0;      // first download request issued
+  // Wall clock burnt by failed attempts: each timed-out (or failed-over)
+  // attempt's RTT + partial transfer. 0 unless resilience fired.
+  double retry_wasted_s = 0.0;
+  // Backoff waits between attempts (exponential backoff and/or failover
+  // reconnection delay). 0 unless resilience fired.
+  double backoff_s = 0.0;
+  size_t retries = 0;               // failed attempts that were retried
+  double rtt_s = 0.0;               // request dead time of the delivering attempt
+  double transfer_s = 0.0;          // bytes on the wire (delivering attempt)
+  double arrival_wall_s = 0.0;      // request + retry_wasted + backoff + rtt + transfer
   double stall_s = 0.0;             // unscheduled stall during this download
   double stall_start_wall_s = 0.0;  // arrival - stall (only meaningful when stall_s > 0)
   double scheduled_pause_s = 0.0;   // ABR-scheduled pause credited to the buffer
@@ -84,6 +91,12 @@ struct ChunkTrajectory {
 // before the bytes landed), and a scheduled pause overlaps the *following*
 // download window (downloads continue while playback is frozen — the
 // buffer-credit model of SENSEI §5). kStartupWait covers join latency.
+// kRetryWait / kBackoff cover resilience recoveries: the wall clock burnt
+// by failed request attempts and the backoff waits between them. The
+// trajectory stores per-chunk totals, not per-attempt spans, so events()
+// renders them as one consolidated span each (waste first, then backoff)
+// between the request and the delivering attempt's RTT — exact in total
+// duration, consolidated in ordering.
 enum class TimelineEventKind {
   kStartupWait,
   kRttWait,
@@ -91,6 +104,8 @@ enum class TimelineEventKind {
   kStall,
   kScheduledPause,
   kIdle,
+  kRetryWait,
+  kBackoff,
 };
 
 const char* to_string(TimelineEventKind kind);

@@ -29,6 +29,12 @@ uint64_t fnv1a(std::string_view s) {
 
 }  // namespace
 
+uint64_t mix_seed(uint64_t seed, uint64_t salt) {
+  uint64_t s = salt;
+  uint64_t x = seed ^ splitmix64(s);
+  return splitmix64(x);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;
   for (auto& w : state_) w = splitmix64(x);
@@ -90,6 +96,21 @@ double Rng::exponential(double mean) {
     u = uniform();
   } while (u <= 1e-300);
   return -mean * std::log(u);
+}
+
+size_t Rng::poisson(double mean) {
+  if (!(mean > 0.0)) return 0;
+  // Knuth's product method underflows for exp(-mean) == 0; split large means
+  // in two (Poisson is additive), keeping the distribution exact.
+  if (mean > 60.0) return poisson(mean * 0.5) + poisson(mean * 0.5);
+  const double threshold = std::exp(-mean);
+  size_t k = 0;
+  double product = uniform();
+  while (product > threshold) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
 }
 
 size_t Rng::weighted_index(const std::vector<double>& weights) {

@@ -11,6 +11,13 @@
 
 namespace sensei::util {
 
+// Derives an independent seed from (seed, salt) via splitmix64 mixing — the
+// same construction core::ExperimentRunner::task_seed uses to give each grid
+// task its own stream. Use it whenever one base seed must fan out into
+// decoupled streams (per-cell fault plans, per-session jitter) without any
+// stream's draw order affecting another.
+uint64_t mix_seed(uint64_t seed, uint64_t salt);
+
 // xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
 // Chosen over std::mt19937 for speed and for a guaranteed stable stream
 // across standard-library implementations.
@@ -37,6 +44,9 @@ class Rng {
   bool chance(double p);
   // Exponential with given mean.
   double exponential(double mean);
+  // Poisson with given mean (0 for mean <= 0). Knuth's product method; means
+  // above ~60 split recursively so exp(-mean) never underflows.
+  size_t poisson(double mean);
 
   // Samples an index according to non-negative weights (unnormalized).
   // Returns weights.size()-1 on degenerate input (all zero).
