@@ -1,0 +1,220 @@
+// Kernel-layer microbench: per-primitive ns/element for the scalar reference
+// vs the resolved SIMD backend (util/kernels), plus the speedup ratio. Emits
+// machine-readable BENCH_kernels.json (schema in bench/README.md).
+//
+//   ./bench_kernels                    full sweep (~10 s)
+//   ./bench_kernels --smoke            reduced sweep for CI (~1 s)
+//   ./bench_kernels --out FILE         JSON destination
+//   ./bench_kernels --baseline FILE    validate a pinned JSON's schema
+//   ./bench_kernels --backend scalar|simd|auto
+//
+// Every timed pair is also an identity gate: the scalar and SIMD outputs of
+// each primitive are memcmp'd per run, and any byte difference fails the
+// process — the speedup table is only meaningful if the backends agree
+// bit for bit. Rows use the consumers' shapes: the ladder-width rows (L=10)
+// are what Whittle and the planner per-level sweeps issue, the long rows
+// (N=4096) expose the asymptotic per-element cost.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/kernels.h"
+
+using namespace sensei;
+using util::KernelBackend;
+namespace k = sensei::util::kernels;
+
+namespace {
+
+// One timed primitive: fills outputs under the scalar backend, re-runs under
+// the SIMD backend, memcmps, and reports ns/element for both.
+struct RowResult {
+  std::string name;
+  size_t n = 0;
+  double scalar_ns = 0.0;  // per element
+  double simd_ns = 0.0;    // per element
+  size_t diffs = 0;
+};
+
+double time_ns_per_elem(const std::function<void()>& fn, size_t n, size_t iters) {
+  fn();  // warm the caches and the lazily resolved dispatch table
+  const double start = bench::now_s();
+  for (size_t i = 0; i < iters; ++i) fn();
+  const double wall = bench::now_s() - start;
+  return wall * 1e9 / (static_cast<double>(iters) * static_cast<double>(n));
+}
+
+class KernelBench {
+ public:
+  KernelBench(size_t iters, bool simd_available)
+      : iters_(iters), simd_available_(simd_available) {}
+
+  // Times `fn` under both backends; `out` spans the bytes the primitive
+  // writes, compared between the two runs.
+  void row(const std::string& name, size_t n, const double* out, size_t out_count,
+           const std::function<void()>& fn) {
+    RowResult r;
+    r.name = name;
+    r.n = n;
+    util::set_kernel_backend(KernelBackend::kScalar);
+    r.scalar_ns = time_ns_per_elem(fn, n, iters_);
+    std::vector<double> scalar_out(out, out + out_count);
+    if (simd_available_) {
+      util::set_kernel_backend(KernelBackend::kSimd);
+      r.simd_ns = time_ns_per_elem(fn, n, iters_);
+      if (std::memcmp(scalar_out.data(), out, out_count * sizeof(double)) != 0) {
+        for (size_t i = 0; i < out_count; ++i) {
+          uint64_t a, b;
+          std::memcpy(&a, &scalar_out[i], 8);
+          std::memcpy(&b, &out[i], 8);
+          if (a != b) ++r.diffs;
+        }
+      }
+      util::set_kernel_backend(KernelBackend::kAuto);
+    }
+    total_diffs_ += r.diffs;
+    rows_.push_back(r);
+    const double speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 0.0;
+    std::printf("%-28s %6zu %12.3f %12.3f %9.2fx %6zu\n", name.c_str(), n, r.scalar_ns,
+                r.simd_ns, speedup, r.diffs);
+  }
+
+  const std::vector<RowResult>& rows() const { return rows_; }
+  size_t total_diffs() const { return total_diffs_; }
+
+ private:
+  size_t iters_;
+  bool simd_available_;
+  std::vector<RowResult> rows_;
+  size_t total_diffs_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::check_flags(argc, argv, {"--out", "--baseline", "--backend"}, {"--smoke"},
+                     "bench_kernels [--smoke] [--out FILE] [--baseline FILE] "
+                     "[--backend scalar|simd|auto]");
+  const bool smoke = bench::smoke_arg(argc, argv);
+  const std::string out_path = bench::out_arg(argc, argv, "BENCH_kernels.json");
+  const std::string baseline_path = bench::baseline_arg(argc, argv);
+  if (!baseline_path.empty()) {
+    bench::check_baseline_fields(baseline_path, 1,
+                                 {"\"kernels\"", "\"scalar_ns_per_elem\"",
+                                  "\"simd_ns_per_elem\"", "\"speedup\"", "\"backend\"",
+                                  "\"identity_diffs\""});
+  }
+  const char* requested_backend = bench::backend_arg(argc, argv);
+  (void)requested_backend;  // rows always time scalar-vs-simd explicitly
+
+  const bool simd = util::kernel_simd_supported();
+  util::set_kernel_backend(KernelBackend::kSimd);
+  const std::string simd_name = util::kernel_backend_name();
+  util::set_kernel_backend(KernelBackend::kAuto);
+  std::printf("kernels: simd compiled=%d supported=%d resolved=%s\n\n",
+              util::kernel_simd_compiled() ? 1 : 0, simd ? 1 : 0, simd_name.c_str());
+
+  const size_t iters = smoke ? 2000 : 40000;
+  KernelBench bench_runner(iters, simd);
+
+  // Inputs shaped like the consumers': positive finite throughputs/sizes,
+  // buffer levels in the player's range. Seeded, so rows are reproducible.
+  std::mt19937_64 rng(99);
+  auto uniform = [&](double lo, double hi) {
+    return lo + (hi - lo) * std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  };
+  const size_t kLadder = 10;   // ladder-width rows (Whittle / per-level sweeps)
+  const size_t kLong = 4096;   // asymptotic per-element cost
+  std::vector<double> in_a(kLong), in_b(kLong), in_c(kLong), out_a(kLong), out_b(kLong);
+  std::vector<uint64_t> out_u(kLong);
+  for (size_t i = 0; i < kLong; ++i) {
+    in_a[i] = uniform(100.0, 8000.0);   // kbps / sizes
+    in_b[i] = uniform(0.0, 30.0);       // buffers / download times
+    in_c[i] = uniform(0.0, 5.0);        // visual qualities
+  }
+
+  std::printf("%-28s %6s %12s %12s %10s %6s\n", "kernel", "n", "scalar ns/el",
+              "simd ns/el", "speedup", "diffs");
+  for (size_t n : {kLadder, kLong}) {
+    const std::string suffix = "/" + std::to_string(n);
+    bench_runner.row("div_add_row" + suffix, n, out_a.data(), n, [&] {
+      k::div_add_row(38000.0, in_a.data(), n, 1.0, 0.08, out_a.data());
+    });
+    bench_runner.row("mul_div_row" + suffix, n, out_a.data(), n, [&] {
+      k::mul_div_row(in_a.data(), n, 8.0, 2400.0, out_a.data());
+    });
+    bench_runner.row("step_buffer_stall_row" + suffix, n, out_a.data(), n, [&] {
+      k::step_buffer_stall_row(7.5, in_b.data(), n, 0.0, 2.0, 30.0, out_a.data(),
+                               out_b.data());
+    });
+    bench_runner.row("chunk_quality_row" + suffix, n, out_a.data(), n, [&] {
+      k::chunk_quality_row(in_c.data(), in_b.data(), in_c.data(), n, 8.0, 8.0, 1.0,
+                           -10.0, out_a.data());
+    });
+    bench_runner.row("chunk_quality_stall_row" + suffix, n, out_a.data(), n, [&] {
+      k::chunk_quality_stall_row(3.5, 3.1, 3.2, in_b.data(), n, 8.0, 8.0, 1.0, -10.0,
+                                 out_a.data());
+    });
+    bench_runner.row("whittle_index_row" + suffix, n, out_a.data(), n, [&] {
+      k::whittle_index_row(in_a.data(), in_c.data(), in_c.data(), n, 2.4e6, 6.5, 0.5,
+                           0.5, 8.0, 8.0, 1.0, out_a.data());
+    });
+    bench_runner.row("quantize_kbps_row" + suffix, n, out_a.data(), n, [&] {
+      k::quantize_kbps_row(in_a.data(), n, 0.5, out_a.data());
+    });
+    bench_runner.row("buffer_bucket_row" + suffix, n,
+                     reinterpret_cast<const double*>(out_u.data()), n, [&] {
+                       k::buffer_bucket_row(in_b.data(), n, 2.0, out_u.data());
+                     });
+    bench_runner.row("triangular_fan" + suffix, n, out_a.data(), n, [&] {
+      k::triangular_fan(n, 3100.0, 0.4, 30.0, out_a.data(), out_b.data());
+    });
+  }
+  // The order-pinned reductions share one implementation across backends;
+  // timed for the record, identity trivially holds.
+  double sink = 0.0;
+  bench_runner.row("sum_row/4096", kLong, &sink, 1,
+                   [&] { sink = k::sum_row(in_a.data(), kLong); });
+  bench_runner.row("weighted_sum_row/4096", kLong, &sink, 1,
+                   [&] { sink = k::weighted_sum_row(in_b.data(), in_a.data(), kLong); });
+
+  // ---- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"kernels\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"config\": {\"backend\": \"%s\", \"simd_compiled\": %s, \"iters\": %zu},\n",
+               simd_name.c_str(), util::kernel_simd_compiled() ? "true" : "false", iters);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < bench_runner.rows().size(); ++i) {
+    const RowResult& r = bench_runner.rows()[i];
+    const double speedup = r.simd_ns > 0.0 ? r.scalar_ns / r.simd_ns : 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"n\": %zu, \"scalar_ns_per_elem\": %.4f, "
+                 "\"simd_ns_per_elem\": %.4f, \"speedup\": %.3f, \"diffs\": %zu}%s\n",
+                 r.name.c_str(), r.n, r.scalar_ns, r.simd_ns, speedup, r.diffs,
+                 i + 1 < bench_runner.rows().size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"summary\": {\"identity_diffs\": %zu}\n", bench_runner.total_diffs());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (bench_runner.total_diffs() > 0) {
+    std::fprintf(stderr, "error: scalar vs %s identity violated (%zu lanes differ)\n",
+                 simd_name.c_str(), bench_runner.total_diffs());
+    return 1;
+  }
+  return 0;
+}

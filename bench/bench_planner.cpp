@@ -97,8 +97,10 @@ double time_plans_ns(abr::Planner& planner, const std::vector<abr::PlanQuery>& q
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::check_flags(argc, argv, {"--out", "--quantum", "--baseline"}, {"--smoke"},
-                     "bench_planner [--smoke] [--out FILE] [--quantum S] [--baseline FILE]");
+  bench::check_flags(argc, argv, {"--out", "--quantum", "--baseline", "--backend"},
+                     {"--smoke"},
+                     "bench_planner [--smoke] [--out FILE] [--quantum S] [--baseline FILE] "
+                     "[--backend scalar|simd|auto]");
   const bool smoke = bench::smoke_arg(argc, argv);
   const std::string out_path = bench::out_arg(argc, argv, "BENCH_planner.json");
   const std::string baseline_path = bench::baseline_arg(argc, argv);
@@ -108,6 +110,7 @@ int main(int argc, char** argv) {
                                  {"\"vi\"", "\"vi_decision_divergence\"",
                                   "\"vi_quantum_s\""});
   }
+  const char* backend = bench::backend_arg(argc, argv);
   double quantum = abr::kDefaultDpBufferQuantumS;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--quantum") == 0) quantum = std::atof(argv[i + 1]);
@@ -198,9 +201,10 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  \"config\": {\"levels\": %zu, \"scenarios\": %zu, \"observations\": %zu, "
                "\"rebuffer_options_s\": [0, 1, 2], \"use_weights\": true, "
-               "\"buffer_quantum_s\": %g, \"vi_quantum_s\": %g, \"seed\": %llu},\n",
+               "\"buffer_quantum_s\": %g, \"vi_quantum_s\": %g, \"seed\": %llu, "
+               "\"backend\": \"%s\"},\n",
                video.ladder().level_count(), num_scenarios, num_obs, quantum,
-               vi.quantum_s(), static_cast<unsigned long long>(seed));
+               vi.quantum_s(), static_cast<unsigned long long>(seed), backend);
   std::fprintf(f, "  \"horizons\": [\n");
   double speedup_h5 = 0.0;
   double vi_speedup_h5 = 0.0;

@@ -1,5 +1,7 @@
 #include "abr/fugu.h"
 
+#include "util/kernels.h"
+
 namespace sensei::abr {
 
 FuguAbr::FuguAbr(FuguConfig config)
@@ -30,6 +32,15 @@ sim::AbrDecision FuguAbr::decide(const sim::AbrObservation& obs) {
   if (obs.last_throughput_kbps > 0.0) predictor_.observe(obs.last_throughput_kbps);
   predictor_.scenarios_into(scenario_buf_);
 
+  // Quantize the forecast once per decision; the vi planner consumes the
+  // table directly (other planners ignore it).
+  const size_t S = scenario_buf_.size();
+  kbps_buf_.resize(S);
+  quantized_buf_.resize(S);
+  for (size_t s = 0; s < S; ++s) kbps_buf_[s] = scenario_buf_[s].kbps;
+  util::kernels::quantize_kbps_row(kbps_buf_.data(), S, kViKbpsBinsPerOctave,
+                                   quantized_buf_.data());
+
   double prev_vq = obs.next_chunk > 0
                        ? obs.video->visual_quality(obs.next_chunk - 1, obs.last_level)
                        : obs.video->visual_quality(0, 0);
@@ -45,6 +56,7 @@ sim::AbrDecision FuguAbr::decide(const sim::AbrObservation& obs) {
   q.weight_shrinkage = config_.weight_shrinkage;
   q.chunk = config_.chunk;
   q.prev_visual_quality = prev_vq;
+  q.quantized_kbps = quantized_buf_.data();
 
   PlanResult r = planner_->plan(q);
 

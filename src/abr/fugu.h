@@ -74,8 +74,12 @@ class FuguAbr : public sim::AbrPolicy {
   net::ScenarioPredictor predictor_;
   std::unique_ptr<Planner> planner_;
   // Scenario buffer refilled in place every decision (no per-decide heap
-  // allocation once warm).
+  // allocation once warm), plus the per-decision quantized-forecast table
+  // (quantize_kbps over the scenario kbps) handed to the planner through
+  // PlanQuery::quantized_kbps so ViPlanner skips the log2/exp2 re-derive.
   std::vector<net::ThroughputScenario> scenario_buf_;
+  std::vector<double> kbps_buf_;
+  std::vector<double> quantized_buf_;
 };
 
 }  // namespace sensei::abr

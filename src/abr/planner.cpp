@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/kernels.h"
+
 namespace sensei::abr {
 
 namespace {
@@ -97,38 +99,60 @@ PlanBatch::ViValueTable& PlanBatch::vi_table(const media::EncodedVideo& video,
                                              size_t levels, double quantum,
                                              const double* key, size_t key_len,
                                              size_t cell_count, bool* created) {
+  // FNV-1a folded a machine word at a time: every keyed field is naturally
+  // 8 bytes (pointers, counts, double bit patterns), and the hash only
+  // steers the probe — the full compare below decides identity — so the
+  // 8x-shorter multiply chain is pure savings on this per-decide path.
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  auto mix = [&h](const void* data, size_t len) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ull;
-    }
+  const auto mix_u64 = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
   };
-  const media::EncodedVideo* vp = &video;
-  const uint64_t dims[3] = {next_chunk, depth_count, levels};
-  const double pf[4] = {params.beta_rebuf, params.rebuf_saturation, params.beta_switch,
-                        params.floor};
-  mix(&vp, sizeof(vp));
-  mix(dims, sizeof(dims));
-  mix(&quantum, sizeof(quantum));
-  mix(pf, sizeof(pf));
-  mix(key, key_len * sizeof(double));
+  const auto mix_f64 = [&mix_u64](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    mix_u64(u);
+  };
+  mix_u64(reinterpret_cast<uintptr_t>(&video));
+  mix_u64(next_chunk);
+  mix_u64(depth_count);
+  mix_u64(levels);
+  mix_f64(quantum);
+  mix_f64(params.beta_rebuf);
+  mix_f64(params.rebuf_saturation);
+  mix_f64(params.beta_switch);
+  mix_f64(params.floor);
+  for (size_t k = 0; k < key_len; ++k) mix_f64(key[k]);
 
-  auto& chain = vi_tables_[h];
-  for (const auto& t : chain) {
-    if (t->video == &video && t->next_chunk == next_chunk &&
-        t->depth_count == depth_count && t->levels == levels && t->quantum == quantum &&
-        t->params.beta_rebuf == params.beta_rebuf &&
-        t->params.rebuf_saturation == params.rebuf_saturation &&
-        t->params.beta_switch == params.beta_switch && t->params.floor == params.floor &&
-        t->key.size() == key_len && std::equal(t->key.begin(), t->key.end(), key)) {
-      *created = false;
-      return *t;
-    }
+  // Grow before probing so the insert below always finds an empty slot and
+  // the load factor stays under ~0.7.
+  if (vi_ht_slot_.empty()) {
+    vi_ht_slot_.assign(64, 0);
+    vi_ht_hash_.assign(64, 0);
+  } else if ((vi_list_.size() + 1) * 10 >= vi_ht_slot_.size() * 7) {
+    vi_rehash(vi_ht_slot_.size() * 2);
   }
-  chain.push_back(std::make_unique<ViValueTable>());
-  ViValueTable& t = *chain.back();
+  const size_t mask = vi_ht_slot_.size() - 1;
+  size_t i = splitmix(h) & mask;
+  while (vi_ht_slot_[i] != 0) {
+    if (vi_ht_hash_[i] == h) {
+      ViValueTable& t = *vi_list_[vi_ht_slot_[i] - 1];
+      if (t.video == &video && t.next_chunk == next_chunk &&
+          t.depth_count == depth_count && t.levels == levels && t.quantum == quantum &&
+          t.params.beta_rebuf == params.beta_rebuf &&
+          t.params.rebuf_saturation == params.rebuf_saturation &&
+          t.params.beta_switch == params.beta_switch && t.params.floor == params.floor &&
+          t.key.size() == key_len && std::equal(t.key.begin(), t.key.end(), key)) {
+        *created = false;
+        return t;
+      }
+    }
+    i = (i + 1) & mask;
+  }
+  vi_list_.push_back(std::make_unique<ViValueTable>());
+  vi_ht_slot_[i] = static_cast<uint32_t>(vi_list_.size());
+  vi_ht_hash_[i] = h;
+  ViValueTable& t = *vi_list_.back();
   t.video = &video;
   t.params = params;
   t.next_chunk = next_chunk;
@@ -136,11 +160,26 @@ PlanBatch::ViValueTable& PlanBatch::vi_table(const media::EncodedVideo& video,
   t.levels = levels;
   t.quantum = quantum;
   t.key.assign(key, key + key_len);
-  t.v.assign(cell_count, 0.0);
+  t.v.reset(new double[cell_count]);  // uninitialized on purpose, see header
+  t.cell_count = cell_count;
   t.filled.assign(cell_count, 0);
-  ++num_vi_tables_;
   *created = true;
   return t;
+}
+
+void PlanBatch::vi_rehash(size_t new_cap) {
+  std::vector<uint64_t> old_hash = std::move(vi_ht_hash_);
+  std::vector<uint32_t> old_slot = std::move(vi_ht_slot_);
+  vi_ht_hash_.assign(new_cap, 0);
+  vi_ht_slot_.assign(new_cap, 0);
+  const size_t mask = new_cap - 1;
+  for (size_t j = 0; j < old_slot.size(); ++j) {
+    if (old_slot[j] == 0) continue;
+    size_t i = splitmix(old_hash[j]) & mask;
+    while (vi_ht_slot_[i] != 0) i = (i + 1) & mask;
+    vi_ht_slot_[i] = old_slot[j];
+    vi_ht_hash_[i] = old_hash[j];
+  }
 }
 
 size_t PlanBatch::table_bytes() const {
@@ -148,13 +187,12 @@ size_t PlanBatch::table_bytes() const {
   for (const auto& t : tables_) {
     b += (t->bits_kb.capacity() + t->vq.capacity() + t->qn.capacity()) * sizeof(double);
   }
-  for (const auto& [h, chain] : vi_tables_) {
-    (void)h;
-    for (const auto& t : chain) {
-      b += (t->key.capacity() + t->v.capacity() + t->dl.capacity()) * sizeof(double) +
-           t->filled.capacity();
-    }
+  for (const auto& t : vi_list_) {
+    b += (t->key.capacity() + t->cell_count + t->dl.capacity()) * sizeof(double) +
+         t->filled.capacity();
   }
+  b += vi_ht_hash_.capacity() * sizeof(uint64_t) +
+       vi_ht_slot_.capacity() * sizeof(uint32_t);
   return b;
 }
 
@@ -704,7 +742,9 @@ ViPlanner::ViPlanner(double buffer_quantum_s)
 size_t ViPlanner::arena_bytes() const {
   return (local_bits_.capacity() + local_vq_.capacity() + local_qn_.capacity() +
           local_dl_.capacity() + prob_.capacity() + w_.capacity() + root_qn_.capacity() +
-          qscen_.capacity() * 2 + key_.capacity() + width_.capacity() + v_.capacity()) *
+          root_dl_.capacity() + exact_kbps_.capacity() + qkbps_.capacity() +
+          key_.capacity() + width_.capacity() + v_.capacity() + row_b_.capacity() +
+          row_stall_.capacity() + row_qv_.capacity()) *
              sizeof(double) +
          (vstamp_.capacity() + bcount_.capacity() + off_.capacity()) * sizeof(uint64_t);
 }
@@ -733,11 +773,13 @@ void ViPlanner::precompute(const PlanQuery& q, size_t depth_count) {
       }
     }
     for (size_t d = 1; d < depth_count; ++d) {
+      // Row kernel over the previous-level axis: vq is fixed per (d, l) and
+      // stall is 0, so qn[p] = max(floor, vq - bsw * |vq - prev_vq[p]|) —
+      // the zero stall-penalty term drops out bit-exactly (x - 0.0 == x).
       for (size_t l = 0; l < L; ++l) {
-        for (size_t p = 0; p < L; ++p) {
-          local_qn_[(d * L + l) * L + p] = qoe::chunk_quality(
-              local_vq_[d * L + l], 0.0, local_vq_[(d - 1) * L + p], q.chunk);
-        }
+        util::kernels::chunk_quality_nostall_prev_row(
+            local_vq_[d * L + l], &local_vq_[(d - 1) * L], L, bsw_, floor_,
+            &local_qn_[(d * L + l) * L]);
       }
     }
     bits_tab_ = local_bits_.data();
@@ -747,13 +789,21 @@ void ViPlanner::precompute(const PlanQuery& q, size_t depth_count) {
 
   // The planner's actual throughput inputs are the quantized scenarios: the
   // same discretization whether or not a batch is attached, so attaching
-  // can only move where tables live, never what they hold.
-  qscen_.resize(S);
+  // can only move where tables live, never what they hold. A caller that
+  // already quantized its forecasts (FuguAbr does, once per decision) hands
+  // them over instead of paying the log2/exp2 bins again here.
+  exact_kbps_.resize(S);
+  qkbps_.resize(S);
   prob_.resize(S);
   for (size_t s = 0; s < S; ++s) {
-    qscen_[s].kbps = quantize_kbps(q.scenarios[s].kbps);
-    qscen_[s].probability = q.scenarios[s].probability;
+    exact_kbps_[s] = q.scenarios[s].kbps;
     prob_[s] = q.scenarios[s].probability;
+  }
+  if (q.quantized_kbps != nullptr) {
+    std::copy(q.quantized_kbps, q.quantized_kbps + S, qkbps_.begin());
+  } else {
+    util::kernels::quantize_kbps_row(exact_kbps_.data(), S, kViKbpsBinsPerOctave,
+                                     qkbps_.data());
   }
 
   w_.resize(depth_count);
@@ -766,9 +816,8 @@ void ViPlanner::precompute(const PlanQuery& q, size_t depth_count) {
   }
 
   root_qn_.resize(L);
-  for (size_t l = 0; l < L; ++l) {
-    root_qn_[l] = qoe::chunk_quality(vq_tab_[l], 0.0, q.prev_visual_quality, q.chunk);
-  }
+  util::kernels::chunk_quality_nostall_row(vq_tab_, L, q.prev_visual_quality, bsw_,
+                                           floor_, root_qn_.data());
 
   // The root step is evaluated with the *exact* forecasts: the immediate
   // stall/no-stall tradeoff is the decision's dominant term, and judging it
@@ -779,24 +828,16 @@ void ViPlanner::precompute(const PlanQuery& q, size_t depth_count) {
   // the irreducible root work, never the shared table.
   root_dl_.resize(L * S);
   for (size_t l = 0; l < L; ++l) {
-    const double bits = bits_tab_[l];
-    double* row = &root_dl_[l * S];
-    for (size_t s = 0; s < S; ++s) {
-      const double kbps = std::max(1.0, q.scenarios[s].kbps);
-      row[s] = bits / kbps + 0.08;
-    }
+    util::kernels::div_add_row(bits_tab_[l], exact_kbps_.data(), S, 1.0, 0.08,
+                               &root_dl_[l * S]);
   }
 }
 
 void ViPlanner::fill_dl(double* dl) const {
   for (size_t d = 0; d < D_; ++d) {
     for (size_t l = 0; l < L_; ++l) {
-      const double bits = bits_tab_[d * L_ + l];
-      double* row = &dl[(d * L_ + l) * S_];
-      for (size_t s = 0; s < S_; ++s) {
-        const double kbps = std::max(1.0, qscen_[s].kbps);
-        row[s] = bits / kbps + 0.08;
-      }
+      util::kernels::div_add_row(bits_tab_[d * L_ + l], qkbps_.data(), S_, 1.0, 0.08,
+                                 &dl[(d * L_ + l) * S_]);
     }
   }
 }
@@ -825,27 +866,55 @@ double ViPlanner::value_of(size_t depth, double buffer_s, size_t prev_level) {
   const double w = w_[depth];
   const double wstall = std::max(w, 1.0);
   double best = -1e18;
-  for (size_t l = 0; l < L_; ++l) {
-    const double vqv = vq_tab_[depth * L_ + l];
-    const double qn = qn_tab_[(depth * L_ + l) * L_ + prev_level];
-    const double* dl_row = &dl_tab_[(depth * L_ + l) * S_];
-    double acc = 0.0;
-    for (size_t s = 0; s < S_; ++s) {
-      double b = b0;
-      const double dl = dl_row[s];
-      double stall = 0.0;
-      if (dl > b) {
-        stall = dl - b;
-        b = 0.0;
-      } else {
-        b -= dl;
+  if (S_ < util::kernels::kInlineRowCutoff) {
+    // Narrow forecasts (the Fugu default is 3 scenarios) keep everything in
+    // registers: this fused loop is the exact composition of the two row
+    // kernels below — same step/penalty/select expressions in the same
+    // order — so both paths produce identical bits; the kernels just add
+    // row stores the recursion would immediately reload at these widths.
+    for (size_t l = 0; l < L_; ++l) {
+      const double vqv = vq_tab_[depth * L_ + l];
+      const double qn = qn_tab_[(depth * L_ + l) * L_ + prev_level];
+      const double* dl_row = &dl_tab_[(depth * L_ + l) * S_];
+      double acc = 0.0;
+      for (size_t s = 0; s < S_; ++s) {
+        double b = b0;
+        const double dl = dl_row[s];
+        double stall = 0.0;
+        if (dl > b) {
+          stall = dl - b;
+          b = 0.0;
+        } else {
+          b -= dl;
+        }
+        b = std::min(b + tau_, kMaxBufferS);
+        const double qv =
+            stall > 0.0 ? qoe::chunk_quality(vqv, stall, prev_vq, q_->chunk) : qn;
+        acc += prob_[s] * (w * qn + wstall * (qv - qn) + value_of(depth + 1, b, l));
       }
-      b = std::min(b + tau_, kMaxBufferS);
-      const double qv =
-          stall > 0.0 ? qoe::chunk_quality(vqv, stall, prev_vq, q_->chunk) : qn;
-      acc += prob_[s] * (w * qn + wstall * (qv - qn) + value_of(depth + 1, b, l));
+      if (acc > best) best = acc;
     }
-    if (acc > best) best = acc;
+  } else {
+    // SoA sweep: one buffer/stall step kernel plus one chunk-quality kernel
+    // per candidate level, over the scenario row, then a sequential fold
+    // (probability weighting and the recursion must keep the scalar order).
+    double* row_b = &row_b_[depth * S_];
+    double* row_stall = &row_stall_[depth * S_];
+    double* row_qv = &row_qv_[depth * S_];
+    for (size_t l = 0; l < L_; ++l) {
+      const double qn = qn_tab_[(depth * L_ + l) * L_ + prev_level];
+      util::kernels::step_buffer_stall_row(b0, &dl_tab_[(depth * L_ + l) * S_], S_, 0.0,
+                                           tau_, kMaxBufferS, row_b, row_stall);
+      util::kernels::chunk_quality_stall_row(vq_tab_[depth * L_ + l], prev_vq, qn,
+                                             row_stall, S_, br_, sat_, bsw_, floor_,
+                                             row_qv);
+      double acc = 0.0;
+      for (size_t s = 0; s < S_; ++s) {
+        acc += prob_[s] *
+               (w * qn + wstall * (row_qv[s] - qn) + value_of(depth + 1, row_b[s], l));
+      }
+      if (acc > best) best = acc;
+    }
   }
   if (filled_ != nullptr) {
     filled_[idx] = 1;
@@ -867,6 +936,15 @@ PlanResult ViPlanner::plan(const PlanQuery& q) {
   L_ = video.ladder().level_count();
   S_ = q.num_scenarios;
   tau_ = video.chunk_duration_s();
+  br_ = q.chunk.beta_rebuf;
+  sat_ = q.chunk.rebuf_saturation;
+  bsw_ = q.chunk.beta_switch;
+  floor_ = q.chunk.floor;
+  if (row_b_.size() < D_ * S_) {
+    row_b_.resize(D_ * S_);
+    row_stall_.resize(D_ * S_);
+    row_qv_.resize(D_ * S_);
+  }
 
   // Multi-resolution grid: the root is evaluated at the continuous observed
   // buffer; depth d >= 1 lives on buckets of width quantum * 2^(d-1). The
@@ -892,21 +970,45 @@ PlanResult ViPlanner::plan(const PlanQuery& q) {
     // Any session that lands on the same key reuses every filled cell.
     key_.clear();
     for (size_t s = 0; s < S_; ++s) {
-      key_.push_back(qscen_[s].kbps);
+      key_.push_back(qkbps_[s]);
       key_.push_back(prob_[s]);
     }
     if (q.use_weights) key_.insert(key_.end(), w_.begin(), w_.end());
-    bool created = false;
-    PlanBatch::ViValueTable& vt =
-        batch_->vi_table(video, q.chunk, q.obs->next_chunk, D_, L_, quantum_,
-                         key_.data(), key_.size(), cells_, &created);
-    if (created) {
-      vt.dl.resize(D_ * L_ * S_);
-      fill_dl(vt.dl.data());
+    // Successor shortcut first: a steady session decides chunk n then
+    // n + 1 under an unchanged discretized context, so the table it needs
+    // is usually the one linked from the table it just used. The link is a
+    // hint — trust it only after re-verifying the complete identity the
+    // hash-table compare would have checked.
+    PlanBatch::ViValueTable* vt = nullptr;
+    if (last_vt_ != nullptr && last_vt_->succ != nullptr) {
+      PlanBatch::ViValueTable* c = last_vt_->succ;
+      if (c->video == &video && c->next_chunk == q.obs->next_chunk &&
+          c->depth_count == D_ && c->levels == L_ && c->quantum == quantum_ &&
+          c->params.beta_rebuf == q.chunk.beta_rebuf &&
+          c->params.rebuf_saturation == q.chunk.rebuf_saturation &&
+          c->params.beta_switch == q.chunk.beta_switch &&
+          c->params.floor == q.chunk.floor && c->key.size() == key_.size() &&
+          std::equal(c->key.begin(), c->key.end(), key_.begin())) {
+        vt = c;
+      }
     }
-    dl_tab_ = vt.dl.data();
-    v_cells_ = vt.v.data();
-    filled_ = vt.filled.data();
+    if (vt == nullptr) {
+      bool created = false;
+      vt = &batch_->vi_table(video, q.chunk, q.obs->next_chunk, D_, L_, quantum_,
+                             key_.data(), key_.size(), cells_, &created);
+      if (created) {
+        vt->dl.resize(D_ * L_ * S_);
+        fill_dl(vt->dl.data());
+      }
+      if (last_vt_ != nullptr && last_vt_->video == &video &&
+          last_vt_->next_chunk + 1 == q.obs->next_chunk) {
+        last_vt_->succ = vt;
+      }
+    }
+    last_vt_ = vt;
+    dl_tab_ = vt->dl.data();
+    v_cells_ = vt->v.get();
+    filled_ = vt->filled.data();
   } else {
     local_dl_.resize(D_ * L_ * S_);
     fill_dl(local_dl_.data());
@@ -922,32 +1024,74 @@ PlanResult ViPlanner::plan(const PlanQuery& q) {
 
   const double w0 = w_[0];
   const double wstall0 = std::max(w0, 1.0);
+  const bool fused_root = S_ < util::kernels::kInlineRowCutoff;
+  // Depth-1 memo read with the hit path inlined: the root fold makes L*S of
+  // these, and funneling every one through the recursive value_of call kept
+  // the loads serialized behind call/return; inline, the out-of-order core
+  // overlaps the (usually cold) cell fetches across iterations. The bucket
+  // expression is value_of's own, so hit or miss, the bits are the same.
+  const double width1 = D_ > 1 ? width_[1] : 1.0;
+  const size_t base1 = D_ > 1 ? off_[1] : 0;
+  const auto depth1_value = [&](double b, size_t level) -> double {
+    if (D_ <= 1) return 0.0;
+    const size_t idx =
+        base1 + static_cast<size_t>(buffer_bucket(b, width1)) * L_ + level;
+    if (filled_ != nullptr) {
+      if (filled_[idx]) return v_cells_[idx];
+    } else if (vstamp_[idx] == round_) {
+      return v_cells_[idx];
+    }
+    return value_of(1, b, level);
+  };
+  // Root rows live in the depth-0 scratch slice (value_of starts at 1).
+  double* row_b = row_b_.data();
+  double* row_stall = row_stall_.data();
+  double* row_qv = row_qv_.data();
   for (size_t level = 0; level < L_; ++level) {
-    const double vqv = vq_tab_[level];
     const double qn = root_qn_[level];
+    const double vqv = vq_tab_[level];
     const double* dl_row = &root_dl_[level * S_];
     for (size_t si = 0; si < q.num_rebuffer_options; ++si) {
       const double scheduled = q.rebuffer_options[si];
       double acc = 0.0;
-      for (size_t s = 0; s < S_; ++s) {
-        double b = q.obs->buffer_s;
-        const double dl = dl_row[s];
-        double stall = 0.0;
-        if (dl > b) {
-          stall = dl - b;
-          b = 0.0;
-        } else {
-          b -= dl;
+      if (fused_root) {
+        // Register-resident twin of the kernel pair below (see value_of):
+        // identical expressions and order, so identical bits.
+        for (size_t s = 0; s < S_; ++s) {
+          double b = q.obs->buffer_s;
+          const double dl = dl_row[s];
+          double stall = 0.0;
+          if (dl > b) {
+            stall = dl - b;
+            b = 0.0;
+          } else {
+            b -= dl;
+          }
+          if (scheduled > 0.0) {
+            b += scheduled;
+            stall += scheduled;
+          }
+          b = std::min(b + tau_, kMaxBufferS);
+          const double qv =
+              stall > 0.0
+                  ? qoe::chunk_quality(vqv, stall, q.prev_visual_quality, q.chunk)
+                  : qn;
+          acc += prob_[s] * (w0 * qn + wstall0 * (qv - qn) + depth1_value(b, level));
         }
-        if (scheduled > 0.0) {
-          b += scheduled;
-          stall += scheduled;
+      } else {
+        // Folding the scheduled-rebuffer branch into the kernel's additive
+        // term is exact: a non-positive option contributes +0.0, and both the
+        // stall and the pre-tau buffer are non-negative there.
+        const double extra = scheduled > 0.0 ? scheduled : 0.0;
+        util::kernels::step_buffer_stall_row(q.obs->buffer_s, &root_dl_[level * S_], S_,
+                                             extra, tau_, kMaxBufferS, row_b, row_stall);
+        util::kernels::chunk_quality_stall_row(vq_tab_[level], q.prev_visual_quality, qn,
+                                               row_stall, S_, br_, sat_, bsw_, floor_,
+                                               row_qv);
+        for (size_t s = 0; s < S_; ++s) {
+          acc += prob_[s] * (w0 * qn + wstall0 * (row_qv[s] - qn) +
+                             depth1_value(row_b[s], level));
         }
-        b = std::min(b + tau_, kMaxBufferS);
-        const double qv = stall > 0.0
-                              ? qoe::chunk_quality(vqv, stall, q.prev_visual_quality, q.chunk)
-                              : qn;
-        acc += prob_[s] * (w0 * qn + wstall0 * (qv - qn) + value_of(1, b, level));
       }
       // Strict improvement only: level-major, stall-option-minor iteration
       // reproduces the exact planners' first-strictly-better tie-break.

@@ -67,7 +67,6 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/predictor.h"
@@ -138,6 +137,11 @@ struct PlanQuery {
   // Visual quality of the previously played chunk (seeds the smoothness
   // penalty of the first lookahead step).
   double prev_visual_quality = 0.0;
+  // Optional caller-precomputed quantized forecasts, length num_scenarios:
+  // quantized_kbps[s] must equal quantize_kbps(scenarios[s].kbps). When set,
+  // ViPlanner reads them instead of re-deriving the log2/exp2 bins per
+  // decide(); when null it computes them itself — identical either way.
+  const double* quantized_kbps = nullptr;
 };
 
 struct PlanResult {
@@ -216,10 +220,21 @@ class PlanBatch {
     std::vector<double> key;
     // Lazily filled value cells (multi-resolution [depth][bucket][level]
     // layout, see ViPlanner) and the expected download-time rows
-    // [(d * L + l) * S + s] derived from the quantized scenarios.
-    std::vector<double> v;
+    // [(d * L + l) * S + s] derived from the quantized scenarios. The value
+    // array is deliberately *uninitialized* at creation: every read is
+    // guarded by `filled`, and zeroing (plus first-touching) ~20KB of cells
+    // the lazy recursion may never reach dominated the table-create path.
+    std::unique_ptr<double[]> v;
+    size_t cell_count = 0;
     std::vector<uint8_t> filled;
     std::vector<double> dl;
+    // Intrusive successor hint: the table a planner moved to for this
+    // video's next chunk right after using this one. Steady sessions walk
+    // chunk n -> n+1 with an unchanged discretized context, so following
+    // the link (and re-verifying the full identity — it is a hint, never a
+    // key) skips the hash + probe. Entries are append-only unique_ptrs, so
+    // the pointer stays valid for the batch's lifetime.
+    ViValueTable* succ = nullptr;
   };
 
   // Returns the shared VI table for the given discretized context, creating
@@ -233,15 +248,23 @@ class PlanBatch {
                          bool* created);
 
   size_t num_videos() const { return tables_.size(); }
-  size_t num_vi_tables() const { return num_vi_tables_; }
+  size_t num_vi_tables() const { return vi_list_.size(); }
   size_t table_bytes() const;
 
  private:
+  void vi_rehash(size_t new_cap);
+
   std::vector<std::unique_ptr<VideoTables>> tables_;
-  // Hash routes to a chain; the chain compares full identity, so a hash
-  // collision can never alias two contexts onto one table.
-  std::unordered_map<uint64_t, std::vector<std::unique_ptr<ViValueTable>>> vi_tables_;
-  size_t num_vi_tables_ = 0;
+  // Open-addressed (linear-probe, power-of-2) hash routing into vi_list_:
+  // a slot holds entry index + 1 (0 = empty) beside the entry's full hash.
+  // A probe hit compares the stored hash first, then the entry's complete
+  // identity, so a hash collision can never alias two contexts onto one
+  // table — it just probes on. Replaces the per-hash chain vectors of an
+  // unordered_map, whose node + chain-vector allocations dominated the
+  // vi_table miss path at fleet scale.
+  std::vector<std::unique_ptr<ViValueTable>> vi_list_;
+  std::vector<uint64_t> vi_ht_hash_;
+  std::vector<uint32_t> vi_ht_slot_;
 };
 
 class Planner {
@@ -359,7 +382,10 @@ class ViPlanner : public Planner {
 
   const char* name() const override { return "vi"; }
   PlanResult plan(const PlanQuery& query) override;
-  void set_batch(PlanBatch* batch) override { batch_ = batch; }
+  void set_batch(PlanBatch* batch) override {
+    batch_ = batch;
+    last_vt_ = nullptr;  // table pointers are only valid within one batch
+  }
 
   double quantum_s() const { return quantum_; }
   size_t arena_bytes() const;
@@ -371,6 +397,9 @@ class ViPlanner : public Planner {
 
   double quantum_;
   PlanBatch* batch_ = nullptr;
+  // The shared table the previous batched plan() used — seed of the
+  // ViValueTable::succ successor shortcut. Cleared on every batch change.
+  PlanBatch::ViValueTable* last_vt_ = nullptr;
 
   // Per-decide context (set by plan(), read by value_of).
   const PlanQuery* q_ = nullptr;
@@ -385,9 +414,11 @@ class ViPlanner : public Planner {
   std::vector<size_t> off_;
   size_t cells_ = 0;
 
-  // The quantized scenarios (quantize_kbps applied) — the planner's actual
-  // inputs, batched or not — and the cache key they induce.
-  std::vector<net::ThroughputScenario> qscen_;
+  // The exact and quantized forecast kbps (quantize_kbps bins) as
+  // contiguous rows — the planner's actual throughput inputs, batched or
+  // not — and the cache key the quantized row induces.
+  std::vector<double> exact_kbps_;
+  std::vector<double> qkbps_;
   std::vector<double> key_;
 
   // Static tables for the lookahead window: pointers into the shared
@@ -410,6 +441,18 @@ class ViPlanner : public Planner {
   std::vector<double> w_;     // per-depth sensitivity weight
   std::vector<double> root_qn_;
   std::vector<double> root_dl_;  // depth-0 download times on *exact* kbps
+
+  // Per-depth scratch rows [depth * S + s] for the SoA step kernels
+  // (util/kernels): post-step buffer, stall seconds, and stalled chunk
+  // quality for one candidate level across all scenarios. Each depth owns
+  // its slice because the recursion at depth d + 1 fills rows d + 1 while
+  // depth d's rows are still being folded; the root uses slice 0 (value_of
+  // starts at depth 1).
+  std::vector<double> row_b_;
+  std::vector<double> row_stall_;
+  std::vector<double> row_qv_;
+  // Chunk-quality params cached as scalars for the kernel calls.
+  double br_ = 0.0, sat_ = 0.0, bsw_ = 0.0, floor_ = 0.0;
 
   // Value cells for this decide(): either the shared ViValueTable (filled_
   // non-null, filled-flag liveness) or the local round-stamped arena.

@@ -23,10 +23,14 @@
 // nonincreasing in b, so the index is monotone nondecreasing in buffer —
 // the indexability property the tests pin.
 //
-// decide() is an argmax over rungs: O(levels), no heap allocation, no
-// lookahead recursion — near-MPC quality at BBA-like cost, which is why the
-// fleet workload mix uses it as the cheap default (sim/workload.h).
+// decide() is an argmax over rungs — one whittle_index_row kernel call over
+// the ladder (util/kernels) followed by a strict argmax: O(levels), zero
+// steady-state heap allocation, no lookahead recursion — near-MPC quality
+// at BBA-like cost, which is why the fleet workload mix uses it as the
+// cheap default (sim/workload.h).
 #pragma once
+
+#include <vector>
 
 #include "net/predictor.h"
 #include "qoe/chunk_quality.h"
@@ -61,6 +65,12 @@ class WhittleIndexAbr : public sim::AbrPolicy {
  private:
   WhittleConfig config_;
   net::HarmonicMeanPredictor predictor_;
+  // SoA scratch rows over the ladder for decide()'s index kernel (sized to
+  // the level count on first use, reused across decisions).
+  std::vector<double> row_bytes_;
+  std::vector<double> row_vq_;
+  std::vector<double> row_prev_;
+  std::vector<double> row_idx_;
 };
 
 }  // namespace sensei::abr

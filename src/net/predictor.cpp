@@ -3,23 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/kernels.h"
 #include "util/stats.h"
 
 namespace sensei::net {
 
 std::vector<ThroughputScenario> triangular_scenarios(size_t count, double center_kbps,
                                                      double cv) {
-  std::vector<ThroughputScenario> out;
-  double total = 0.0;
-  for (size_t i = 0; i < count; ++i) {
-    double pos = count == 1 ? 0.0
-                            : -1.0 + 2.0 * static_cast<double>(i) /
-                                         static_cast<double>(count - 1);
-    double p = 1.0 + (1.0 - std::abs(pos));
-    out.push_back({std::max(30.0, center_kbps * (1.0 + cv * pos)), p});
-    total += p;
-  }
-  for (auto& s : out) s.probability /= total;
+  std::vector<ThroughputScenario> out(count);
+  if (count == 0) return out;
+  // Vector fill of the (unnormalized) fan, sequential total, then one
+  // normalization pass — the same per-element expressions and the same
+  // left-to-right accumulation as the scalar loop this replaces.
+  std::vector<double> kbps(count), prob(count);
+  util::kernels::triangular_fan(count, center_kbps, cv, 30.0, kbps.data(), prob.data());
+  const double total = util::kernels::sum_row(prob.data(), count);
+  util::kernels::div_scalar_row(prob.data(), count, total, prob.data());
+  for (size_t i = 0; i < count; ++i) out[i] = {kbps[i], prob[i]};
   return out;
 }
 
@@ -76,6 +76,16 @@ void ScenarioPredictor::observe(double kbps) {
 double ScenarioPredictor::predict_kbps() const { return point_.predict_kbps(); }
 
 void ScenarioPredictor::scenarios_into(std::vector<ThroughputScenario>& out) const {
+  // Both windows key the memo: point_ retains the raw (clamped-at-observe)
+  // kbps driving the harmonic mean, history_ the max(1, kbps) samples
+  // driving the spread — they differ, so both must be unchanged to replay.
+  out.clear();
+  if (cache_valid_ && point_.window_generation() == cache_point_gen_ &&
+      history_.generation() == cache_history_gen_) {
+    for (size_t i = 0; i < 3; ++i) out.push_back({cache_kbps_[i], cache_prob_[i]});
+    return;
+  }
+
   double center = point_.predict_kbps();
   // Coefficient of variation of recent samples decides the scenario spread.
   // Computed directly over the history window (same oldest-first
@@ -96,10 +106,16 @@ void ScenarioPredictor::scenarios_into(std::vector<ThroughputScenario>& out) con
       cv = util::clamp(sd / m, 0.05, 0.8);
     }
   }
-  out.clear();
   out.push_back({std::max(30.0, center * (1.0 - cv)), 0.25});
   out.push_back({center, 0.5});
   out.push_back({center * (1.0 + cv), 0.25});
+  for (size_t i = 0; i < 3; ++i) {
+    cache_kbps_[i] = out[i].kbps;
+    cache_prob_[i] = out[i].probability;
+  }
+  cache_point_gen_ = point_.window_generation();
+  cache_history_gen_ = history_.generation();
+  cache_valid_ = true;
 }
 
 void ScenarioPredictor::reset() {

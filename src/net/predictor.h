@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace sensei::net {
@@ -40,18 +41,28 @@ class SampleWindow {
       data_[head_] = v;
       head_ = (head_ + 1) % data_.size();
     }
+    ++generation_;
   }
 
   void clear() {
     head_ = 0;
     size_ = 0;
+    ++generation_;
   }
+
+  // Monotonic stamp bumped by every retained-content change (push into a
+  // nonzero-capacity window, clear). Two reads with equal generations saw
+  // bit-identical window contents, so callers — e.g. the ScenarioPredictor
+  // scenario cache — can detect "window unchanged" in O(1) instead of
+  // hashing or copying the samples.
+  uint64_t generation() const { return generation_; }
 
  private:
   std::vector<double> data_;
   size_t capacity_ = 0;
   size_t head_ = 0;  // index of the oldest sample
   size_t size_ = 0;
+  uint64_t generation_ = 0;
 };
 
 // One throughput scenario: value (Kbps) with probability.
@@ -104,6 +115,10 @@ class HarmonicMeanPredictor : public ThroughputPredictor {
   double predict_kbps() const override;
   void reset() override;
 
+  // Change stamp of the retained observation window (see
+  // SampleWindow::generation).
+  uint64_t window_generation() const { return history_.generation(); }
+
  private:
   double initial_kbps_;
   SampleWindow history_;
@@ -137,6 +152,18 @@ class ScenarioPredictor : public ThroughputPredictor {
  private:
   HarmonicMeanPredictor point_;
   SampleWindow history_;
+  // scenarios_into() memo: the fan is a pure function of the two sample
+  // windows (and the fixed initial estimate), so when neither window
+  // changed since the last call — keyed by their combined generation
+  // stamps — the three cached scenarios are replayed bit-for-bit instead
+  // of recomputing the mean/variance/sqrt spread. observe() and reset()
+  // bump the stamps, so no explicit invalidation is needed, and the key
+  // check is O(1) rather than a rehash of both windows per call.
+  mutable uint64_t cache_point_gen_ = 0;
+  mutable uint64_t cache_history_gen_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable double cache_kbps_[3] = {0.0, 0.0, 0.0};
+  mutable double cache_prob_[3] = {0.0, 0.0, 0.0};
 };
 
 }  // namespace sensei::net

@@ -16,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/session_engine.h"
 #include "sim/simulator.h"
+#include "util/kernels.h"
 #include "util/rng.h"
 
 namespace sensei::sim {
@@ -196,15 +197,18 @@ FleetAggregates FleetSimulator::run_cell(
   if (fail_at_s < kInf) agg.failed_cells = 1;  // counts the draw, not the hit
   const qoe::ChunkQualityParams qoe_params;
 
-  // Session slots: engine + bound policy, recycled across sessions. All
-  // vectors below grow to the cell's peak concurrency and stay there.
-  struct Slot {
-    std::unique_ptr<SessionEngine> engine;  // constructed on first use, reset() after
-    std::unique_ptr<AbrPolicy> policy;
-    SessionArrival arrival;
-  };
-  std::vector<Slot> slots;
+  // Session slots recycled across sessions, laid out as parallel arrays
+  // (SoA): the event loop touches engines[] almost exclusively, so slot
+  // scans stream over one pointer array instead of striding across
+  // {engine, policy, arrival} triples. All vectors below grow to the cell's
+  // peak concurrency and stay there.
+  std::vector<std::unique_ptr<SessionEngine>> engines;  // constructed on first use
+  std::vector<std::unique_ptr<AbrPolicy>> policies;
+  std::vector<SessionArrival> arrivals;
   std::vector<size_t> free_slots;
+  // Scratch rows for retire()'s per-session QoE fold (chunk_quality_row over
+  // the session's records), sized to the longest session seen.
+  std::vector<double> rec_vq, rec_stall, rec_prev, rec_q;
   // One policy pool per unique canonical spec (pool_specs_ order).
   std::vector<std::vector<std::unique_ptr<AbrPolicy>>> policy_pool(pool_specs_.size());
   abr::PlanBatch batch;
@@ -220,50 +224,51 @@ FleetAggregates FleetSimulator::run_cell(
       idx = free_slots.back();
       free_slots.pop_back();
     } else {
-      idx = slots.size();
-      slots.emplace_back();
+      idx = engines.size();
+      engines.emplace_back();
+      policies.emplace_back();
+      arrivals.emplace_back();
       // Release paths (retire) must not allocate in steady state, so the
       // free lists get their worst-case capacity (every slot released) here
       // in the growth phase.
-      free_slots.reserve(slots.size());
-      for (auto& pool : policy_pool) pool.reserve(slots.size());
+      free_slots.reserve(engines.size());
+      for (auto& pool : policy_pool) pool.reserve(engines.size());
     }
-    Slot& slot = slots[idx];
-    slot.arrival = a;
+    arrivals[idx] = a;
     const size_t pool_idx = mix_to_pool_[a.policy_index];
     auto& pool = policy_pool[pool_idx];
     if (!pool.empty()) {
-      slot.policy = std::move(pool.back());
+      policies[idx] = std::move(pool.back());
       pool.pop_back();
     } else {
-      slot.policy = abr::make_policy(pool_specs_[pool_idx]);
+      policies[idx] = abr::make_policy(pool_specs_[pool_idx]);
     }
-    if (config_.player.share_plan_tables) slot.policy->attach_plan_batch(&batch);
+    if (config_.player.share_plan_tables) policies[idx]->attach_plan_batch(&batch);
     const media::EncodedVideo& video = *videos[a.video_index];
-    if (slot.engine == nullptr) {
-      slot.engine = std::make_unique<SessionEngine>(config_.player, video, *live,
-                                                    *slot.policy, kNoWeights, a.start_s);
-      slot.engine->set_chunk_limit(a.chunk_limit);
+    if (engines[idx] == nullptr) {
+      engines[idx] = std::make_unique<SessionEngine>(config_.player, video, *live,
+                                                     *policies[idx], kNoWeights, a.start_s);
+      engines[idx]->set_chunk_limit(a.chunk_limit);
     } else {
-      slot.engine->reset(video, *live, *slot.policy, kNoWeights, a.start_s, a.chunk_limit);
+      engines[idx]->reset(video, *live, *policies[idx], kNoWeights, a.start_s,
+                          a.chunk_limit);
     }
     // Stable jitter identity (admission order, decoupled from slot reuse)
     // and the live fault plan for RTT spikes (nullptr detaches).
-    slot.engine->set_session_tag(util::mix_seed(cell_seed, session_ordinal++));
-    slot.engine->set_fault_plan(plan_ptr);
+    engines[idx]->set_session_tag(util::mix_seed(cell_seed, session_ordinal++));
+    engines[idx]->set_fault_plan(plan_ptr);
     ++active;
     agg.peak_concurrent = std::max(agg.peak_concurrent, active);
     return idx;
   };
 
   auto retire = [&](size_t idx) {
-    Slot& slot = slots[idx];
-    const SessionEngine& engine = *slot.engine;
+    const SessionEngine& engine = *engines[idx];
     const std::vector<ChunkRecord>& recs = engine.records();
 
     ++agg.sessions;
     agg.chunks += recs.size();
-    const size_t pool_idx = mix_to_pool_[slot.arrival.policy_index];
+    const size_t pool_idx = mix_to_pool_[arrivals[idx].policy_index];
     ++agg.sessions_by_policy[pool_idx];
     // Typed outcome split: outage vs viewer abandonment vs full completion,
     // from the engine's cause instead of re-deriving it from record counts.
@@ -291,30 +296,48 @@ FleetAggregates FleetSimulator::run_cell(
       if (engine.outcome() != SessionOutcome::kOutage) ++agg.recovered_sessions;
     }
     if (!recs.empty()) {
-      double qoe_sum = 0.0, bitrate_sum = 0.0;
-      for (size_t i = 0; i < recs.size(); ++i) {
-        double prev_vq = i > 0 ? recs[i - 1].visual_quality : recs[i].visual_quality;
-        qoe_sum +=
-            qoe::chunk_quality(recs[i].visual_quality, recs[i].rebuffer_s, prev_vq, qoe_params);
+      // SoA fold: gather the record fields into contiguous rows (prev is
+      // the quality row shifted by one, first chunk self-seeded), one
+      // chunk_quality_row kernel over the session, then sequential sums —
+      // the same left-to-right accumulation as the scalar loop it replaces.
+      const size_t n = recs.size();
+      if (rec_vq.size() < n) {
+        rec_vq.resize(n);
+        rec_stall.resize(n);
+        rec_prev.resize(n);
+        rec_q.resize(n);
+      }
+      double bitrate_sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        rec_vq[i] = recs[i].visual_quality;
+        rec_stall[i] = recs[i].rebuffer_s;
         bitrate_sum += recs[i].bitrate_kbps;
       }
-      double mean_qoe = qoe_sum / static_cast<double>(recs.size());
+      rec_prev[0] = rec_vq[0];
+      std::copy(rec_vq.begin(), rec_vq.begin() + (n - 1), rec_prev.begin() + 1);
+      util::kernels::chunk_quality_row(rec_vq.data(), rec_stall.data(), rec_prev.data(),
+                                       n, qoe_params.beta_rebuf,
+                                       qoe_params.rebuf_saturation,
+                                       qoe_params.beta_switch, qoe_params.floor,
+                                       rec_q.data());
+      double mean_qoe = util::kernels::sum_row(rec_q.data(), n) / static_cast<double>(n);
       agg.session_qoe.add(mean_qoe);
       agg.qoe_sketch.add(mean_qoe);
-      agg.session_bitrate_kbps.add(bitrate_sum / static_cast<double>(recs.size()));
+      agg.session_bitrate_kbps.add(bitrate_sum / static_cast<double>(n));
       agg.session_rebuffer_s.add(engine.total_stall_s());
       agg.startup_delay_s.add(engine.startup_delay_s());
     }
-    if (config_.on_session_done) config_.on_session_done(cell, slot.arrival, engine);
+    if (config_.on_session_done) config_.on_session_done(cell, arrivals[idx], engine);
 
-    policy_pool[mix_to_pool_[slot.arrival.policy_index]].push_back(std::move(slot.policy));
+    policy_pool[mix_to_pool_[arrivals[idx].policy_index]].push_back(
+        std::move(policies[idx]));
     free_slots.push_back(idx);
     --active;
   };
 
   auto record_join = [&](size_t idx) {
-    if (slots[idx].engine->state() != SessionEngine::State::kTransferring) return;
-    size_t id = slots[idx].engine->transfer_id();
+    if (engines[idx]->state() != SessionEngine::State::kTransferring) return;
+    size_t id = engines[idx]->transfer_id();
     if (transfer_owner.size() <= id) transfer_owner.resize(id + 1, 0);
     transfer_owner[id] = idx;
   };
@@ -334,10 +357,10 @@ FleetAggregates FleetSimulator::run_cell(
     if (t == kInf) {
       // Dead link, no arrivals left: every active session is stuck on a
       // transfer the link can never deliver. Outage-truncate, slot order.
-      for (size_t idx = 0; idx < slots.size(); ++idx) {
-        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
-            !slots[idx].engine->done()) {
-          slots[idx].engine->fail_transfer();
+      for (size_t idx = 0; idx < engines.size(); ++idx) {
+        if (engines[idx] != nullptr && policies[idx] != nullptr &&
+            !engines[idx]->done()) {
+          engines[idx]->fail_transfer();
           retire(idx);
         }
       }
@@ -349,29 +372,29 @@ FleetAggregates FleetSimulator::run_cell(
     for (const net::SharedLink::Completion& completion : live->completions_sorted()) {
       ++processed;
       size_t idx = transfer_owner[completion.id];
-      slots[idx].engine->complete_transfer(completion.finish_s);
-      if (slots[idx].engine->done()) {
+      engines[idx]->complete_transfer(completion.finish_s);
+      if (engines[idx]->done()) {
         events.update(idx, kInf);
         retire(idx);
       } else {
-        events.update(idx, slots[idx].engine->next_event_time());
+        events.update(idx, engines[idx]->next_event_time());
       }
     }
     live->clear_completions();
 
     while (have_pending && pending.start_s <= t) {
       size_t idx = admit(pending);
-      events.update(idx, slots[idx].engine->next_event_time());
+      events.update(idx, engines[idx]->next_event_time());
       have_pending = gen.next(&pending);
       ++processed;
     }
 
     while (!events.empty() && events.min_time() <= t) {
       size_t idx = events.min_index();
-      slots[idx].engine->advance_to(t);
+      engines[idx]->advance_to(t);
       ++processed;
-      events.update(idx, slots[idx].engine->next_event_time());
-      if (slots[idx].engine->done()) {
+      events.update(idx, engines[idx]->next_event_time());
+      if (engines[idx]->done()) {
         retire(idx);
       } else {
         record_join(idx);
@@ -385,11 +408,11 @@ FleetAggregates FleetSimulator::run_cell(
     // sessions just repoint) and re-enters the heap at its new event time.
     if (fail_at_s <= t) {
       ++processed;
-      for (size_t idx = 0; idx < slots.size(); ++idx) {
-        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
-            !slots[idx].engine->done()) {
-          slots[idx].engine->rehome(*fallback_link, faults.reconnect_delay_s, t);
-          events.update(idx, slots[idx].engine->next_event_time());
+      for (size_t idx = 0; idx < engines.size(); ++idx) {
+        if (engines[idx] != nullptr && policies[idx] != nullptr &&
+            !engines[idx]->done()) {
+          engines[idx]->rehome(*fallback_link, faults.reconnect_delay_s, t);
+          events.update(idx, engines[idx]->next_event_time());
         }
       }
       live = &*fallback_link;
@@ -399,10 +422,10 @@ FleetAggregates FleetSimulator::run_cell(
     // Livelock sentinel, as in sim::Simulator: one no-op instant is legal
     // (an epsilon-short completion estimate), two in a row can never resolve.
     if (processed == 0 && prev_was_noop && t == prev_t) {
-      size_t stuck = slots.size();
-      for (size_t idx = 0; idx < slots.size(); ++idx) {
-        if (slots[idx].engine != nullptr && slots[idx].policy != nullptr &&
-            !slots[idx].engine->done()) {
+      size_t stuck = engines.size();
+      for (size_t idx = 0; idx < engines.size(); ++idx) {
+        if (engines[idx] != nullptr && policies[idx] != nullptr &&
+            !engines[idx]->done()) {
           stuck = idx;
           break;
         }

@@ -1,0 +1,167 @@
+#include "util/kernels.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/kernels_internal.h"
+
+namespace sensei::util {
+namespace {
+
+using detail::KernelOps;
+
+// The scalar backend IS the inline reference implementation set from
+// kernels.h — one source of truth for the semantics every SIMD lane must
+// reproduce.
+constexpr KernelOps kScalarOps = {
+    &kernels::ref::div_add_row,
+    &kernels::ref::mul_div_row,
+    &kernels::ref::div_scalar_row,
+    &kernels::ref::step_buffer_stall_row,
+    &kernels::ref::chunk_quality_stall_row,
+    &kernels::ref::chunk_quality_row,
+    &kernels::ref::chunk_quality_nostall_row,
+    &kernels::ref::chunk_quality_nostall_prev_row,
+    &kernels::ref::whittle_index_row,
+    &kernels::ref::triangular_fan,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+struct Resolved {
+  const KernelOps* ops;
+  const char* name;
+};
+
+Resolved resolve_simd() {
+#if defined(__x86_64__)
+  const KernelOps* avx2 = detail::avx2_ops();
+  if (avx2 != nullptr && __builtin_cpu_supports("avx2")) return {avx2, "avx2"};
+#endif
+  const KernelOps* sse2 = detail::sse2_ops();
+  if (sse2 != nullptr) return {sse2, "sse2"};
+  return {&kScalarOps, "scalar"};
+}
+
+Resolved resolve(KernelBackend backend) {
+  if (backend == KernelBackend::kScalar) return {&kScalarOps, "scalar"};
+  return resolve_simd();  // kSimd and kAuto both take the best vector path
+}
+
+std::atomic<KernelBackend> g_requested{KernelBackend::kAuto};
+std::atomic<const char*> g_name{nullptr};
+std::atomic<const KernelOps*> g_ops{nullptr};
+
+const KernelOps& active() {
+  const KernelOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    const Resolved r = resolve(g_requested.load(std::memory_order_relaxed));
+    g_name.store(r.name, std::memory_order_relaxed);
+    g_ops.store(r.ops, std::memory_order_release);
+    ops = r.ops;
+  }
+  return *ops;
+}
+
+}  // namespace
+
+void set_kernel_backend(KernelBackend backend) {
+  const Resolved r = resolve(backend);
+  g_requested.store(backend, std::memory_order_relaxed);
+  g_name.store(r.name, std::memory_order_relaxed);
+  g_ops.store(r.ops, std::memory_order_release);
+}
+
+bool set_kernel_backend(const char* name) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    set_kernel_backend(KernelBackend::kScalar);
+    return true;
+  }
+  if (std::strcmp(name, "simd") == 0) {
+    set_kernel_backend(KernelBackend::kSimd);
+    return true;
+  }
+  if (std::strcmp(name, "auto") == 0) {
+    set_kernel_backend(KernelBackend::kAuto);
+    return true;
+  }
+  return false;
+}
+
+KernelBackend requested_kernel_backend() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+const char* kernel_backend_name() {
+  active();  // resolve on first query
+  return g_name.load(std::memory_order_relaxed);
+}
+
+bool kernel_simd_compiled() {
+  return detail::avx2_ops() != nullptr || detail::sse2_ops() != nullptr;
+}
+
+bool kernel_simd_supported() { return resolve_simd().ops != &kScalarOps; }
+
+namespace kernels::dispatch {
+
+void div_add_row(double num, const double* den, size_t n, double den_floor, double add,
+                 double* out) {
+  active().div_add_row(num, den, n, den_floor, add, out);
+}
+
+void mul_div_row(const double* x, size_t n, double scale, double den, double* out) {
+  active().mul_div_row(x, n, scale, den, out);
+}
+
+void div_scalar_row(const double* x, size_t n, double den, double* out) {
+  active().div_scalar_row(x, n, den, out);
+}
+
+void step_buffer_stall_row(double buffer_s, const double* dl, size_t n, double extra_s,
+                           double tau_s, double cap_s, double* buf_out,
+                           double* stall_out) {
+  active().step_buffer_stall_row(buffer_s, dl, n, extra_s, tau_s, cap_s, buf_out,
+                                 stall_out);
+}
+
+void chunk_quality_stall_row(double vq, double prev_vq, double nostall_q,
+                             const double* stall, size_t n, double br, double sat,
+                             double bsw, double floor, double* out) {
+  active().chunk_quality_stall_row(vq, prev_vq, nostall_q, stall, n, br, sat, bsw, floor,
+                                   out);
+}
+
+void chunk_quality_row(const double* vq, const double* stall, const double* prev_vq,
+                       size_t n, double br, double sat, double bsw, double floor,
+                       double* out) {
+  active().chunk_quality_row(vq, stall, prev_vq, n, br, sat, bsw, floor, out);
+}
+
+void chunk_quality_nostall_row(const double* vq, size_t n, double prev_vq, double bsw,
+                               double floor, double* out) {
+  active().chunk_quality_nostall_row(vq, n, prev_vq, bsw, floor, out);
+}
+
+void chunk_quality_nostall_prev_row(double vq, const double* prev_vq, size_t n,
+                                    double bsw, double floor, double* out) {
+  active().chunk_quality_nostall_prev_row(vq, prev_vq, n, bsw, floor, out);
+}
+
+void whittle_index_row(const double* size_bytes, const double* vq, const double* prev_vq,
+                       size_t n, double den, double buffer_s, double headroom,
+                       double drain, double br, double sat, double bsw, double* out) {
+  active().whittle_index_row(size_bytes, vq, prev_vq, n, den, buffer_s, headroom, drain,
+                             br, sat, bsw, out);
+}
+
+void triangular_fan(size_t count, double center, double cv, double floor_kbps,
+                    double* kbps, double* prob) {
+  active().triangular_fan(count, center, cv, floor_kbps, kbps, prob);
+}
+
+}  // namespace kernels::dispatch
+}  // namespace sensei::util

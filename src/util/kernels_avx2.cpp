@@ -1,0 +1,64 @@
+// AVX2 backend for util/kernels. This translation unit is compiled with
+// -mavx2 (see CMakeLists); it must stay self-contained — nothing here may
+// be inlined into code that runs before the runtime cpu check, which is
+// why the table is only reachable through the avx2_ops() factory.
+#include "util/kernels_internal.h"
+
+#if defined(SENSEI_ENABLE_SIMD) && defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace sensei::util::detail {
+namespace {
+
+struct V {
+  using R = __m256d;
+  static constexpr size_t W = 4;
+  static R load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, R v) { _mm256_storeu_pd(p, v); }
+  static R set1(double x) { return _mm256_set1_pd(x); }
+  static R add(R a, R b) { return _mm256_add_pd(a, b); }
+  static R sub(R a, R b) { return _mm256_sub_pd(a, b); }
+  static R mul(R a, R b) { return _mm256_mul_pd(a, b); }
+  static R div(R a, R b) { return _mm256_div_pd(a, b); }
+  static R lt(R a, R b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static R le(R a, R b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static R gt(R a, R b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  // blendv keys on the sign bit; compare masks are all-ones/all-zeros.
+  static R select(R mask, R if_true, R if_false) {
+    return _mm256_blendv_pd(if_false, if_true, mask);
+  }
+  static R abs(R x) { return _mm256_andnot_pd(_mm256_set1_pd(-0.0), x); }
+  static R iota() { return _mm256_set_pd(3.0, 2.0, 1.0, 0.0); }
+};
+
+#include "util/kernels_simd.inc"
+
+constexpr KernelOps kOps = {
+    &v_div_add_row<V>,
+    &v_mul_div_row<V>,
+    &v_div_scalar_row<V>,
+    &v_step_buffer_stall_row<V>,
+    &v_chunk_quality_stall_row<V>,
+    &v_chunk_quality_row<V>,
+    &v_chunk_quality_nostall_row<V>,
+    &v_chunk_quality_nostall_prev_row<V>,
+    &v_whittle_index_row<V>,
+    &v_triangular_fan<V>,
+};
+
+}  // namespace
+
+const KernelOps* avx2_ops() { return &kOps; }
+
+}  // namespace sensei::util::detail
+
+#else
+
+namespace sensei::util::detail {
+const KernelOps* avx2_ops() { return nullptr; }
+}  // namespace sensei::util::detail
+
+#endif

@@ -1,0 +1,42 @@
+// Internal dispatch table for util/kernels: one function pointer per
+// vectorized row kernel. The scalar reference lives in kernels.cpp; the
+// SSE2 and AVX2 tables live in their own translation units (the AVX2 one
+// is compiled with -mavx2, so nothing outside it may inline its code) and
+// are surfaced through the two factory functions below, which return
+// nullptr when the backend is not compiled for this target.
+#pragma once
+
+#include <cstddef>
+
+namespace sensei::util::detail {
+
+struct KernelOps {
+  void (*div_add_row)(double num, const double* den, size_t n, double den_floor,
+                      double add, double* out);
+  void (*mul_div_row)(const double* x, size_t n, double scale, double den, double* out);
+  void (*div_scalar_row)(const double* x, size_t n, double den, double* out);
+  void (*step_buffer_stall_row)(double buffer_s, const double* dl, size_t n,
+                                double extra_s, double tau_s, double cap_s,
+                                double* buf_out, double* stall_out);
+  void (*chunk_quality_stall_row)(double vq, double prev_vq, double nostall_q,
+                                  const double* stall, size_t n, double br, double sat,
+                                  double bsw, double floor, double* out);
+  void (*chunk_quality_row)(const double* vq, const double* stall, const double* prev_vq,
+                            size_t n, double br, double sat, double bsw, double floor,
+                            double* out);
+  void (*chunk_quality_nostall_row)(const double* vq, size_t n, double prev_vq,
+                                    double bsw, double floor, double* out);
+  void (*chunk_quality_nostall_prev_row)(double vq, const double* prev_vq, size_t n,
+                                         double bsw, double floor, double* out);
+  void (*whittle_index_row)(const double* size_bytes, const double* vq,
+                            const double* prev_vq, size_t n, double den, double buffer_s,
+                            double headroom, double drain, double br, double sat,
+                            double bsw, double* out);
+  void (*triangular_fan)(size_t count, double center, double cv, double floor_kbps,
+                         double* kbps, double* prob);
+};
+
+const KernelOps* sse2_ops();
+const KernelOps* avx2_ops();
+
+}  // namespace sensei::util::detail

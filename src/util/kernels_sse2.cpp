@@ -1,0 +1,61 @@
+// SSE2 backend for util/kernels (baseline on x86-64, no extra ISA flags).
+#include "util/kernels_internal.h"
+
+#if defined(SENSEI_ENABLE_SIMD) && defined(__x86_64__) && defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace sensei::util::detail {
+namespace {
+
+struct V {
+  using R = __m128d;
+  static constexpr size_t W = 2;
+  static R load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, R v) { _mm_storeu_pd(p, v); }
+  static R set1(double x) { return _mm_set1_pd(x); }
+  static R add(R a, R b) { return _mm_add_pd(a, b); }
+  static R sub(R a, R b) { return _mm_sub_pd(a, b); }
+  static R mul(R a, R b) { return _mm_mul_pd(a, b); }
+  static R div(R a, R b) { return _mm_div_pd(a, b); }
+  static R lt(R a, R b) { return _mm_cmplt_pd(a, b); }
+  static R le(R a, R b) { return _mm_cmple_pd(a, b); }
+  static R gt(R a, R b) { return _mm_cmpgt_pd(a, b); }
+  // mask lanes are all-ones/all-zeros from the compares above.
+  static R select(R mask, R if_true, R if_false) {
+    return _mm_or_pd(_mm_and_pd(mask, if_true), _mm_andnot_pd(mask, if_false));
+  }
+  static R abs(R x) { return _mm_andnot_pd(_mm_set1_pd(-0.0), x); }
+  static R iota() { return _mm_set_pd(1.0, 0.0); }
+};
+
+#include "util/kernels_simd.inc"
+
+constexpr KernelOps kOps = {
+    &v_div_add_row<V>,
+    &v_mul_div_row<V>,
+    &v_div_scalar_row<V>,
+    &v_step_buffer_stall_row<V>,
+    &v_chunk_quality_stall_row<V>,
+    &v_chunk_quality_row<V>,
+    &v_chunk_quality_nostall_row<V>,
+    &v_chunk_quality_nostall_prev_row<V>,
+    &v_whittle_index_row<V>,
+    &v_triangular_fan<V>,
+};
+
+}  // namespace
+
+const KernelOps* sse2_ops() { return &kOps; }
+
+}  // namespace sensei::util::detail
+
+#else
+
+namespace sensei::util::detail {
+const KernelOps* sse2_ops() { return nullptr; }
+}  // namespace sensei::util::detail
+
+#endif
